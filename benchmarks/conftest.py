@@ -1,0 +1,33 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures through the
+same harness the CLI uses, at a reduced scale so `pytest benchmarks/
+--benchmark-only` completes in minutes.  The benchmarked quantity is the
+wall-clock of the full regeneration (dataset synthesis is cached across
+rounds via the config's dataset cache, so rounds after the first measure
+the experiment pipeline itself).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+#: Linear dataset scale for benchmarking (1/64 of Table II).
+BENCH_SCALE = 1 / 64
+
+#: Subset used by the per-dataset studies to bound runtime while keeping
+#: one representative of each structure class.
+BENCH_DATASETS = ("cant", "pwtk", "webbase-1M", "netherlands_osm")
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return ExperimentConfig(scale=BENCH_SCALE, seed=2017, datasets=BENCH_DATASETS)
+
+
+@pytest.fixture(scope="session")
+def bench_config_all() -> ExperimentConfig:
+    """No dataset restriction (for experiments with their own fixed sets)."""
+    return ExperimentConfig(scale=BENCH_SCALE, seed=2017)

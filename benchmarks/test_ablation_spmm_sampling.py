@@ -1,0 +1,8 @@
+"""Benchmark: ablation D (spmm sampler variants)."""
+
+from repro.experiments import ablation_spmm_sampling
+
+
+def test_ablation_spmm_sampling(benchmark, bench_config):
+    report = benchmark(ablation_spmm_sampling.run, bench_config)
+    assert "avg_rows_slowdown" in report.metrics

@@ -1,0 +1,22 @@
+"""Benchmarks: the ablation studies and the multi-GPU extension."""
+
+from repro.experiments import (
+    ablation_cc_sampling,
+    ablation_hh_sampling,
+    ext_multiway,
+)
+
+
+def test_ablation_cc_sampling(benchmark, bench_config):
+    report = benchmark(ablation_cc_sampling.run, bench_config)
+    assert "avg_literal_slowdown" in report.metrics
+
+
+def test_ablation_hh_sampling(benchmark, bench_config):
+    report = benchmark(ablation_hh_sampling.run, bench_config)
+    assert report.metrics["avg_fold_slowdown"] >= 0.0
+
+
+def test_ext_multiway(benchmark, bench_config):
+    report = benchmark(ext_multiway.run, bench_config)
+    assert report.metrics["avg_speedup_vs_single_gpu"] > 0.5

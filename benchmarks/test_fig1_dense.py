@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 1 (dense MM, FLOPS split vs best)."""
+
+from repro.experiments import fig1_dense
+
+
+def test_fig1_dense(benchmark, bench_config_all):
+    report = benchmark(fig1_dense.run, bench_config_all)
+    # Shape check: the FLOPS-ratio split lands near the best threshold.
+    assert report.metrics["avg_static_gap"] < 6.0

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 3 (CC thresholds and times)."""
+
+from repro.experiments import fig3_cc
+
+
+def test_fig3_cc(benchmark, bench_config):
+    report = benchmark(fig3_cc.run, bench_config)
+    # Shape checks: sampling tracks the oracle; overhead stays moderate.
+    assert report.metrics["avg_threshold_diff"] < 15.0
+    assert report.metrics["avg_overhead_percent"] < 40.0

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 4 (CC sample-size sensitivity)."""
+
+from repro.experiments import fig4_cc_sensitivity
+
+
+def test_fig4_cc_sensitivity(benchmark, bench_config_all):
+    report = benchmark(fig4_cc_sensitivity.run, bench_config_all)
+    # Shape check: the total-time curve is near unimodal for both graphs.
+    for key, value in report.metrics.items():
+        if key.endswith("_unimodality_violations"):
+            assert value <= 2

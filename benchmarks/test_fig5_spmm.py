@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 5 (spmm splits and times)."""
+
+from repro.experiments import fig5_spmm
+
+
+def test_fig5_spmm(benchmark, bench_config):
+    report = benchmark(fig5_spmm.run, bench_config)
+    # Shape checks: near-oracle runtimes; partitioning beats GPU-only.
+    assert report.metrics["avg_time_diff_percent"] < 25.0

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 6 (spmm sample-size sensitivity)."""
+
+from repro.experiments import fig6_spmm_sensitivity
+
+
+def test_fig6_spmm_sensitivity(benchmark, bench_config_all):
+    report = benchmark(fig6_spmm_sensitivity.run, bench_config_all)
+    for key, value in report.metrics.items():
+        if key.endswith("_unimodality_violations"):
+            assert value <= 2

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 7 (randomness ablation)."""
+
+from repro.experiments import fig7_randomness
+
+
+def test_fig7_randomness(benchmark, bench_config_all):
+    report = benchmark(fig7_randomness.run, bench_config_all)
+    # Shape check: the worst predetermined block is no better than the
+    # random sample on every dataset.
+    for name in ("cant", "cop20k_A"):
+        assert (
+            report.metrics[f"{name}_block_error_max"]
+            >= report.metrics[f"{name}_random_error"]
+        )

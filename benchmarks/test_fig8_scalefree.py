@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Figure 8 (scale-free thresholds and times)."""
+
+from repro.experiments import fig8_scalefree
+
+
+def test_fig8_scalefree(benchmark, bench_config):
+    report = benchmark(fig8_scalefree.run, bench_config)
+    # Shape checks: tiny estimation overhead (the paper's ~1% claim).
+    assert report.metrics["avg_overhead_percent"] < 5.0

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 9 (scale-free sample-size sensitivity)."""
+
+from repro.experiments import fig9_scalefree_sensitivity
+
+
+def test_fig9_scalefree_sensitivity(benchmark, bench_config_all):
+    report = benchmark(fig9_scalefree_sensitivity.run, bench_config_all)
+    for key, value in report.metrics.items():
+        if key.endswith("_unimodality_violations"):
+            assert value <= 2

@@ -1,0 +1,65 @@
+"""Micro-benchmarks of the substrate kernels themselves.
+
+The per-figure benchmarks time whole experiment pipelines; these time the
+hot primitives a downstream user calls directly, so regressions in the
+vectorized implementations are visible in isolation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.partition import CutProfile
+from repro.graphs.shiloach_vishkin import shiloach_vishkin
+from repro.sparse.sampling import sample_submatrix
+from repro.sparse.spgemm import estimate_compression, load_vector, spgemm
+from repro.workloads.band import banded_matrix
+from repro.workloads.rmat import rmat_matrix
+
+
+@pytest.fixture(scope="module")
+def band():
+    return banded_matrix(4000, 25.0, rng=0)
+
+
+@pytest.fixture(scope="module")
+def web_graph():
+    m = rmat_matrix(30_000, 300_000, rng=1)
+    rows = np.repeat(np.arange(m.n_rows), m.row_nnz())
+    off = rows != m.indices
+    return Graph(m.n_rows, rows[off], m.indices[off])
+
+
+def test_spgemm_band(benchmark, band):
+    c = benchmark(spgemm, band, band)
+    assert c.nnz > band.nnz
+
+
+def test_load_vector(benchmark, band):
+    lv = benchmark(load_vector, band, band)
+    assert lv.sum() > 0
+
+
+def test_estimate_compression(benchmark, band):
+    r = benchmark(estimate_compression, band, band)
+    assert 0 < r <= 1
+
+
+def test_sample_submatrix(benchmark, band):
+    s = benchmark(sample_submatrix, band, 1000, 7)
+    assert s.shape == (1000, 1000)
+
+
+def test_shiloach_vishkin(benchmark, web_graph):
+    res = benchmark(shiloach_vishkin, web_graph)
+    assert res.hook_iterations >= 1
+
+
+def test_cut_profile_construction(benchmark, web_graph):
+    profile = benchmark(CutProfile, web_graph)
+    assert profile.m == web_graph.m
+
+
+def test_workload_generation(benchmark):
+    m = benchmark(banded_matrix, 20_000, 25.0, 0.08, 2.4, 6, 0.35, 42)
+    assert m.n_rows == 20_000

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Table I (cross-study summary)."""
+
+from repro.experiments import table1_summary
+
+
+def test_table1_summary(benchmark, bench_config):
+    report = benchmark(table1_summary.run, bench_config)
+    m = report.metrics
+    # The paper's headline ordering: scale-free overhead smallest.
+    assert m["scale_free_spmm_overhead"] < m["cc_overhead"]
+    assert m["scale_free_spmm_overhead"] < m["spmm_overhead"]

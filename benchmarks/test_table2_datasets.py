@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Table II (dataset synthesis)."""
+
+from repro.experiments import table2_datasets
+
+
+def test_table2_datasets(benchmark, bench_config_all):
+    report = benchmark(table2_datasets.run, bench_config_all)
+    assert report.metrics["n_datasets"] == 15

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Static sampled split vs dynamic work-queue scheduling for spmm.
+
+The paper argues for one up-front sampled split over runtime load
+balancing.  This example sweeps the dynamic scheduler's chunk size on two
+contrasting inputs — a uniform FEM band (static's home turf) and a
+degree-ordered web matrix (where a single contiguous cut struggles) — and
+prints the full trade-off curve next to the static numbers.
+
+Run: ``python examples/dynamic_vs_static.py``
+"""
+
+from repro import (
+    RaceCoarseSearch,
+    SamplingPartitioner,
+    SpmmProblem,
+    exhaustive_oracle,
+    load_dataset,
+    paper_testbed,
+)
+from repro.hetero.dynamic import best_dynamic_schedule, simulate_dynamic_spmm
+
+SCALE = 1 / 32
+
+
+def study(name: str, machine) -> None:
+    dataset = load_dataset(name, scale=SCALE)
+    problem = SpmmProblem(dataset.matrix, machine, name=name)
+    oracle = exhaustive_oracle(problem)
+    estimate = SamplingPartitioner(RaceCoarseSearch(), rng=6).estimate(problem)
+    static_ms = problem.evaluate_ms(estimate.threshold)
+
+    print(f"\n=== {dataset.describe()} ===")
+    print(
+        f"static: oracle {oracle.best_time_ms:.2f} ms at r={oracle.threshold:.0f}; "
+        f"sampled {static_ms:.2f} ms at r={estimate.threshold:.0f}"
+    )
+    n = problem.a.n_rows
+    print(f"{'chunk rows':>12} {'time ms':>10} {'CPU chunks %':>13}")
+    for chunk in (max(1, n // 1000), max(1, n // 200), max(1, n // 50), max(1, n // 10)):
+        r = simulate_dynamic_spmm(problem, chunk)
+        print(f"{chunk:>12,} {r.total_ms:>10.2f} {r.cpu_share_percent:>12.0f}%")
+    best = best_dynamic_schedule(problem)
+    verdict = "dynamic wins" if best.total_ms < static_ms else "static wins/ties"
+    print(
+        f"best dynamic: {best.total_ms:.2f} ms at chunk={best.chunk_rows:,} -> {verdict}"
+    )
+
+
+def main() -> None:
+    machine = paper_testbed(time_scale=SCALE)
+    study("cant", machine)
+    study("web-BerkStan", machine)
+    print(
+        "\ntakeaway: static sampling needs no runtime coordination and no chunk"
+        " tuning; dynamic catches index-sorted skew a single cut cannot."
+    )
+
+
+if __name__ == "__main__":
+    main()

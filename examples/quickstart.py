@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: estimate a work-partition threshold by sampling.
+
+Builds the paper's testbed simulator, loads a Table II dataset analog, and
+compares three ways of picking the CPU/GPU split for hybrid connected
+components (the paper's Algorithm 1):
+
+* the exhaustive-search oracle (exact, impractically expensive),
+* the sampling estimate (the paper's contribution),
+* the NaiveStatic peak-FLOPS split.
+
+Run: ``python examples/quickstart.py``
+"""
+
+from repro import (
+    CcProblem,
+    CoarseToFineSearch,
+    SamplingPartitioner,
+    exhaustive_oracle,
+    load_dataset,
+    paper_testbed,
+)
+
+SCALE = 1 / 16  # Table II analogs at 1/16 linear scale (see DESIGN.md)
+
+
+def main() -> None:
+    machine = paper_testbed(time_scale=SCALE)
+    dataset = load_dataset("delaunay_n22", scale=SCALE)
+    graph = dataset.as_graph()
+    print(f"dataset: {dataset.describe()}")
+
+    problem = CcProblem(graph, machine, name=dataset.name)
+
+    # The oracle sweeps all 101 thresholds on the full input.
+    oracle = exhaustive_oracle(problem)
+    print(
+        f"\noracle: best GPU share = {oracle.threshold:.0f}% "
+        f"-> {oracle.best_time_ms:.2f} ms; finding it cost "
+        f"{oracle.search_cost_ms:.1f} ms "
+        f"({oracle.search_cost_multiple:.0f}x one run!)"
+    )
+
+    # The sampling partitioner: sample sqrt(n) vertices, identify with a
+    # coarse-to-fine search, extrapolate (identity for a share threshold).
+    partitioner = SamplingPartitioner(CoarseToFineSearch(), rng=0)
+    estimate = partitioner.estimate(problem)
+    est_time = problem.evaluate_ms(estimate.threshold)
+    print(
+        f"sampling: estimated GPU share = {estimate.threshold:.0f}% "
+        f"-> {est_time:.2f} ms; estimation cost "
+        f"{estimate.estimation_cost_ms:.2f} ms "
+        f"({estimate.overhead_percent(est_time):.1f}% overhead)"
+    )
+
+    static = problem.naive_static_threshold()
+    print(
+        f"naive static: {static:.0f}% -> {problem.evaluate_ms(static):.2f} ms"
+    )
+    gpu_only = problem.evaluate_ms(problem.gpu_only_threshold())
+    print(f"GPU only (no partitioning): {gpu_only:.2f} ms")
+
+    # The estimate is real: run the algorithm and verify the components.
+    result = problem.run(estimate.threshold)
+    print(f"\nexecuted Algorithm 1: {result.n_components} connected components")
+
+
+if __name__ == "__main__":
+    main()

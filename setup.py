@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so the offline
+reproduction environment (setuptools 65, no ``wheel``) can perform editable
+installs via the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

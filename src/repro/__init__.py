@@ -1,0 +1,123 @@
+"""repro — sampling-based nearly balanced work partitioning.
+
+A production-quality reproduction of *"Nearly Balanced Work Partitioning
+for Heterogeneous Algorithms"* (ICPP 2017): a Sample -> Identify ->
+Extrapolate framework for choosing the work-partition threshold of a
+heterogeneous (CPU+GPU) algorithm, together with every substrate the
+paper's evaluation depends on — a calibrated heterogeneous-platform
+simulator, from-scratch CSR sparse/graph kernels, the three case-study
+algorithms, synthetic analogs of the Table II datasets, and an experiment
+harness regenerating every table and figure.
+
+Quick start::
+
+    from repro import (
+        paper_testbed, load_dataset, CcProblem,
+        SamplingPartitioner, CoarseToFineSearch, exhaustive_oracle,
+    )
+
+    machine = paper_testbed(time_scale=1 / 16)
+    graph = load_dataset("delaunay_n22").as_graph()
+    problem = CcProblem(graph, machine, name="delaunay_n22")
+
+    estimate = SamplingPartitioner(CoarseToFineSearch(), rng=0).estimate(problem)
+    oracle = exhaustive_oracle(problem)
+    print(estimate.threshold, oracle.threshold)
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: the sampling partitioner, identify searches,
+    extrapolation laws, baselines, and the exhaustive oracle.
+``repro.platform``
+    The simulated CPU+GPU+PCIe testbed and its kernel cost models.
+``repro.sparse`` / ``repro.graphs``
+    From-scratch CSR matrix and graph substrates.
+``repro.hetero``
+    The heterogeneous algorithms: hybrid CC (Algorithm 1), row-split spmm
+    (Algorithm 2), HH-CPU scale-free spmm (Algorithm 3), dense MM (Fig. 1).
+``repro.workloads``
+    Synthetic Table II dataset analogs.
+``repro.experiments``
+    One module per paper table/figure; ``python -m repro.experiments all``
+    regenerates everything.
+"""
+
+from repro.core import (
+    autotune,
+    TunedPartition,
+    SamplingPartitioner,
+    PartitionEstimate,
+    ExhaustiveSearch,
+    CoarseToFineSearch,
+    RaceCoarseSearch,
+    GradientDescentSearch,
+    IdentityExtrapolator,
+    SquareLawExtrapolator,
+    ScaleExtrapolator,
+    SaturationExtrapolator,
+    OfflineBestFitExtrapolator,
+    exhaustive_oracle,
+    OracleResult,
+    naive_average_threshold,
+    compare_with_baselines,
+    BaselineComparison,
+)
+from repro.hetero import (
+    CcProblem,
+    SpmmProblem,
+    HhCpuProblem,
+    DenseMmProblem,
+)
+from repro.platform import (
+    HeterogeneousMachine,
+    DeviceSpec,
+    PcieLink,
+    Timeline,
+    paper_testbed,
+)
+from repro.workloads import (
+    Dataset,
+    load_dataset,
+    load_suite,
+    dataset_names,
+    scalefree_subset_names,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "autotune",
+    "TunedPartition",
+    "SamplingPartitioner",
+    "PartitionEstimate",
+    "ExhaustiveSearch",
+    "CoarseToFineSearch",
+    "RaceCoarseSearch",
+    "GradientDescentSearch",
+    "IdentityExtrapolator",
+    "SquareLawExtrapolator",
+    "ScaleExtrapolator",
+    "SaturationExtrapolator",
+    "OfflineBestFitExtrapolator",
+    "exhaustive_oracle",
+    "OracleResult",
+    "naive_average_threshold",
+    "compare_with_baselines",
+    "BaselineComparison",
+    "CcProblem",
+    "SpmmProblem",
+    "HhCpuProblem",
+    "DenseMmProblem",
+    "HeterogeneousMachine",
+    "DeviceSpec",
+    "PcieLink",
+    "Timeline",
+    "paper_testbed",
+    "Dataset",
+    "load_dataset",
+    "load_suite",
+    "dataset_names",
+    "scalefree_subset_names",
+    "__version__",
+]

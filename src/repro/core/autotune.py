@@ -1,0 +1,88 @@
+"""One-call tuning façade.
+
+The paper's framework leaves the identify strategy as a per-problem choice
+(coarse-to-fine for CC, a race probe for spmm, gradient descent for the
+scale-free study).  :func:`autotune` encodes that dispatch so a user can
+tune any :class:`~repro.core.problem.PartitionProblem` in one line:
+
+>>> tuned = autotune(problem, rng=0)
+>>> tuned.threshold, tuned.phase2_ms, tuned.overhead_percent
+
+Selection rules, in order:
+
+1. a problem exposing ``preferred_search()`` gets exactly that;
+2. a problem exposing ``race_probe`` (work-predictable spmm-likes) gets the
+   race + fine search;
+3. a problem whose grid is non-uniform (a data-dependent axis, e.g. the
+   scale-free density cutoffs) gets multi-start gradient descent;
+4. everything else gets the coarse-to-fine grid search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.framework import PartitionEstimate, SamplingPartitioner
+from repro.core.problem import PartitionProblem
+from repro.core.search import (
+    CoarseToFineSearch,
+    GradientDescentSearch,
+    RaceCoarseSearch,
+    SearchStrategy,
+)
+from repro.util.rng import RngLike
+
+
+@dataclass(frozen=True)
+class TunedPartition:
+    """What :func:`autotune` hands back: a threshold plus its economics."""
+
+    threshold: float
+    phase2_ms: float
+    estimate: PartitionEstimate
+    search_name: str
+
+    @property
+    def overhead_percent(self) -> float:
+        return self.estimate.overhead_percent(self.phase2_ms)
+
+
+def select_search(problem: PartitionProblem) -> SearchStrategy:
+    """The identify strategy :func:`autotune` would use for *problem*."""
+    preferred = getattr(problem, "preferred_search", None)
+    if preferred is not None:
+        return preferred()
+    if getattr(problem, "race_probe", None) is not None:
+        return RaceCoarseSearch()
+    grid = np.asarray(problem.threshold_grid(), dtype=np.float64)
+    if grid.size > 2 and np.unique(np.diff(grid)).size > 1:
+        return GradientDescentSearch()
+    return CoarseToFineSearch()
+
+
+def autotune(
+    problem: PartitionProblem,
+    rng: RngLike = None,
+    repeats: int = 1,
+    sample_size: int | None = None,
+) -> TunedPartition:
+    """Sample -> Identify -> Extrapolate with the problem-appropriate search.
+
+    The extrapolated threshold is clamped onto the problem's axis before
+    the Phase-II pricing (extrapolation laws may land off-grid).
+    """
+    search = select_search(problem)
+    partitioner = SamplingPartitioner(
+        search, sample_size=sample_size, repeats=repeats, rng=rng
+    )
+    estimate = partitioner.estimate(problem)
+    grid = problem.threshold_grid()
+    threshold = float(min(max(estimate.threshold, grid[0]), grid[-1]))
+    return TunedPartition(
+        threshold=threshold,
+        phase2_ms=problem.evaluate_ms(threshold),
+        estimate=estimate,
+        search_name=type(search).__name__,
+    )

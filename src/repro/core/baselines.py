@@ -1,0 +1,125 @@
+"""Partitioning baselines the paper compares against.
+
+* **NaiveStatic** — split by the devices' peak-FLOPS ratio.  Each problem
+  converts the machine ratio to its own threshold axis via
+  ``naive_static_threshold()`` (for CC that is an 88% GPU vertex share on
+  the paper's testbed).
+* **NaiveAverage** — run the oracle on every dataset of a suite *offline*,
+  average the optimal thresholds, and use that single average everywhere
+  (Section III-B.2; the paper's CC suite averages to ~90%).
+* **Naive (GPU-only)** — no partitioning: the whole input on the GPU
+  (the tall bars in Figure 3b).
+
+:func:`compare_with_baselines` bundles, for one problem, everything a
+figure row needs: oracle, estimate, and all three baselines, with the
+paper's derived metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.framework import PartitionEstimate, SamplingPartitioner
+from repro.core.oracle import OracleResult, exhaustive_oracle
+from repro.core.problem import PartitionProblem
+from repro.util.errors import ValidationError
+from repro.util.stats import absolute_percent_gap, relative_slowdown
+
+
+def naive_average_threshold(oracle_thresholds: Sequence[float]) -> float:
+    """The NaiveAverage baseline: mean of per-dataset oracle thresholds."""
+    if len(oracle_thresholds) == 0:
+        raise ValidationError("need at least one oracle threshold to average")
+    return float(np.mean(np.asarray(oracle_thresholds, dtype=np.float64)))
+
+
+@dataclass(frozen=True)
+class BaselineComparison:
+    """One dataset's full comparison row (Figures 3/5/8 and Table I).
+
+    Times are Phase-II simulated milliseconds at each method's threshold.
+    """
+
+    name: str
+    oracle: OracleResult
+    estimate: PartitionEstimate
+    estimated_time_ms: float
+    naive_static_threshold: float
+    naive_static_time_ms: float
+    naive_average_threshold: float | None
+    naive_average_time_ms: float | None
+    gpu_only_time_ms: float
+
+    # -- the paper's derived metrics ---------------------------------------
+
+    @property
+    def threshold_difference(self) -> float:
+        """|estimated - exhaustive| in threshold-axis points."""
+        return absolute_percent_gap(self.estimate.threshold, self.oracle.threshold)
+
+    @property
+    def time_difference_percent(self) -> float:
+        """% increase of the estimated-threshold runtime over the best."""
+        return relative_slowdown(self.estimated_time_ms, self.oracle.best_time_ms)
+
+    @property
+    def overhead_percent(self) -> float:
+        """Estimation share of estimation + Phase II."""
+        return self.estimate.overhead_percent(self.estimated_time_ms)
+
+    @property
+    def speedup_over_gpu_only(self) -> float:
+        """How much partitioning at the estimate beats no partitioning."""
+        if self.estimated_time_ms == 0:
+            return float("inf")
+        return self.gpu_only_time_ms / self.estimated_time_ms
+
+
+def compare_with_baselines(
+    problem: PartitionProblem,
+    partitioner: SamplingPartitioner,
+    naive_average: float | None = None,
+    oracle: OracleResult | None = None,
+) -> BaselineComparison:
+    """Evaluate the estimate and every baseline on one problem.
+
+    ``naive_average`` must be computed over the whole suite by the caller
+    (it is an *offline, cross-dataset* baseline); pass ``None`` to omit it.
+    A precomputed *oracle* avoids re-running the exhaustive sweep when the
+    caller already needed it (e.g. to build the NaiveAverage).
+    """
+    if oracle is None:
+        oracle = exhaustive_oracle(problem)
+    estimate = partitioner.estimate(problem)
+    # Clamp onto the problem's axis: extrapolation may land off-grid.
+    grid = problem.threshold_grid()
+    lo, hi = float(grid[0]), float(grid[-1])
+    estimate_threshold = min(max(estimate.threshold, lo), hi)
+    if estimate_threshold != estimate.threshold:
+        estimate = PartitionEstimate(
+            threshold=estimate_threshold,
+            sample_threshold=estimate.sample_threshold,
+            sample_size=estimate.sample_size,
+            estimation_cost_ms=estimate.estimation_cost_ms,
+            searches=estimate.searches,
+            extrapolator=estimate.extrapolator,
+        )
+    estimated_time = problem.evaluate_ms(estimate.threshold)
+    static_t = problem.naive_static_threshold()
+    comparison = BaselineComparison(
+        name=problem.name,
+        oracle=oracle,
+        estimate=estimate,
+        estimated_time_ms=estimated_time,
+        naive_static_threshold=static_t,
+        naive_static_time_ms=problem.evaluate_ms(static_t),
+        naive_average_threshold=naive_average,
+        naive_average_time_ms=(
+            problem.evaluate_ms(naive_average) if naive_average is not None else None
+        ),
+        gpu_only_time_ms=problem.evaluate_ms(problem.gpu_only_threshold()),
+    )
+    return comparison

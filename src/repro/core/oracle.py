@@ -1,0 +1,45 @@
+"""The exhaustive-search oracle.
+
+The paper's accuracy metric compares every estimate against "the best
+possible threshold obtained via an exhaustive search" — a full sweep of the
+threshold grid on the *full* input.  The oracle also reports what that sweep
+would have cost on the simulated clock, which is the number that makes the
+paper's case: the sweep costs two orders of magnitude more than one run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.problem import PartitionProblem
+from repro.core.search import ExhaustiveSearch, SearchResult
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """Best threshold, its runtime, and the cost of finding it exhaustively."""
+
+    threshold: float
+    best_time_ms: float
+    search_cost_ms: float
+    n_evaluations: int
+    evaluations: tuple[tuple[float, float], ...]
+
+    @property
+    def search_cost_multiple(self) -> float:
+        """How many best-case runs the exhaustive search itself costs."""
+        if self.best_time_ms == 0:
+            return float("inf")
+        return self.search_cost_ms / self.best_time_ms
+
+
+def exhaustive_oracle(problem: PartitionProblem) -> OracleResult:
+    """Sweep the full grid on the full input; exact but impractical."""
+    result: SearchResult = ExhaustiveSearch().minimize(problem)
+    return OracleResult(
+        threshold=result.threshold,
+        best_time_ms=result.value_ms,
+        search_cost_ms=result.cost_ms,
+        n_evaluations=result.n_evaluations,
+        evaluations=result.evaluations,
+    )

@@ -1,0 +1,69 @@
+"""The problem interface the partitioning framework operates on.
+
+A *partition problem* is one heterogeneous algorithm bound to one input
+instance and one machine.  The framework never looks inside: it only needs
+to price a candidate threshold, draw a sampled sub-problem, and ask a few
+structural questions.  The three case studies (``repro.hetero``) implement
+this protocol; so can any user-defined heterogeneous algorithm, which is
+what makes the technique "generic in its applicability".
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.util.rng import RngLike
+
+
+@runtime_checkable
+class PartitionProblem(Protocol):
+    """One (algorithm, input, machine) triple exposed to the framework.
+
+    Thresholds are floats on a problem-defined axis: a GPU vertex share in
+    [0, 100] for CC, a CPU work share in [0, 100] for spmm, a row-density
+    cutoff for the scale-free case.  The framework treats them opaquely.
+    """
+
+    #: Short instance label used in reports ("cant", "web-BerkStan", ...).
+    name: str
+
+    def evaluate_ms(self, threshold: float) -> float:
+        """Simulated Phase-II makespan (ms) when partitioned at *threshold*.
+
+        This is "one run of the heterogeneous algorithm" for search
+        purposes: deterministic, side-effect free, and cheap enough to call
+        at every grid point.
+        """
+        ...
+
+    def threshold_grid(self) -> np.ndarray:
+        """All candidate thresholds an exhaustive search would try."""
+        ...
+
+    def sample(self, size: int, rng: RngLike = None) -> "PartitionProblem":
+        """Step 1: a sub-problem built from a size-*size* random sample."""
+        ...
+
+    def sampling_cost_ms(self, size: int) -> float:
+        """Simulated cost of *constructing* the size-*size* sample.
+
+        Charged to the estimation phase: samplers that must scan the whole
+        input (submatrix selection) cost more than ones that touch only the
+        sampled rows — the reason the scale-free case's overhead is the
+        smallest in the paper.
+        """
+        ...
+
+    def default_sample_size(self) -> int:
+        """The paper's recommended sample size for this problem family."""
+        ...
+
+    def naive_static_threshold(self) -> float:
+        """The NaiveStatic baseline: a split from the peak-FLOPS ratio."""
+        ...
+
+    def gpu_only_threshold(self) -> float:
+        """The threshold that sends all work to the GPU (the "Naive" bar)."""
+        ...

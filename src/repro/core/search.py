@@ -1,0 +1,282 @@
+"""Identify-step search strategies.
+
+Every strategy minimizes ``problem.evaluate_ms`` over the problem's
+threshold axis and accounts its own *simulated cost*: the paper's overhead
+numbers count the time spent running the algorithm on the sample at each
+probed threshold, so a :class:`SearchResult` carries the full evaluation
+log and its cost sum.
+
+Strategies:
+
+* :class:`ExhaustiveSearch` — every grid point; the oracle, impractical on
+  the full input (which is the paper's premise) but exact.
+* :class:`CoarseToFineSearch` — the Section III identify step: stride-8
+  sweep, then stride-1 refinement around the coarse winner.
+* :class:`RaceCoarseSearch` — the Section IV identify step: a single
+  "race" (both devices chew the whole sample until the first finishes)
+  yields a coarse split, refined by a local stride-1 search.
+* :class:`GradientDescentSearch` — the Section V identify step: discrete
+  hill descent with step halving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import PartitionProblem
+from repro.util.errors import SearchError
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of an identify search on one problem.
+
+    Attributes
+    ----------
+    threshold:
+        The winning threshold.
+    value_ms:
+        ``evaluate_ms`` at the winner.
+    evaluations:
+        Every ``(threshold, ms)`` pair probed, in probe order.
+    cost_ms:
+        Total simulated time of all probes — each probe *is* a run of the
+        heterogeneous algorithm, so its cost is its simulated runtime —
+        plus any strategy-specific probe cost (the race).
+    """
+
+    threshold: float
+    value_ms: float
+    evaluations: tuple[tuple[float, float], ...]
+    cost_ms: float
+    #: Strategy-specific cost beyond the per-threshold probes (the spmm
+    #: race).  Included in ``cost_ms``; kept separate so cost accounting
+    #: that reprices probes (see SamplingPartitioner) retains it.
+    extra_cost_ms: float = 0.0
+
+    @property
+    def n_evaluations(self) -> int:
+        return len(self.evaluations)
+
+
+class SearchStrategy:
+    """Base class: subclasses implement :meth:`minimize`."""
+
+    def minimize(self, problem: PartitionProblem) -> SearchResult:
+        raise NotImplementedError
+
+
+def _evaluate_grid(
+    problem: PartitionProblem, grid: np.ndarray
+) -> tuple[list[tuple[float, float]], float, float]:
+    """Probe every point of *grid*; return (log, best_t, best_ms)."""
+    if grid.size == 0:
+        raise SearchError("empty threshold grid")
+    log: list[tuple[float, float]] = []
+    best_t = float(grid[0])
+    best_ms = float("inf")
+    for t in grid:
+        ms = problem.evaluate_ms(float(t))
+        log.append((float(t), ms))
+        if ms < best_ms:
+            best_t, best_ms = float(t), ms
+    return log, best_t, best_ms
+
+
+class ExhaustiveSearch(SearchStrategy):
+    """Probe the entire grid.  Exact and expensive — the paper's strawman."""
+
+    def minimize(self, problem: PartitionProblem) -> SearchResult:
+        grid = np.asarray(problem.threshold_grid(), dtype=np.float64)
+        log, best_t, best_ms = _evaluate_grid(problem, grid)
+        return SearchResult(
+            threshold=best_t,
+            value_ms=best_ms,
+            evaluations=tuple(log),
+            cost_ms=float(sum(ms for _, ms in log)),
+        )
+
+
+class CoarseToFineSearch(SearchStrategy):
+    """Stride-*coarse_step* sweep, then stride-*fine_step* refinement.
+
+    "we run with values of t' that differ by 8, and once the best value of
+    t' is identified, we then run on values of t' that differ by 1"
+    (Section III-A.2).  The refinement window spans one coarse stride on
+    each side of the coarse winner.
+    """
+
+    def __init__(self, coarse_step: int = 8, fine_step: int = 1) -> None:
+        if coarse_step < 1 or fine_step < 1:
+            raise SearchError("steps must be >= 1")
+        if fine_step > coarse_step:
+            raise SearchError("fine step must not exceed coarse step")
+        self.coarse_step = coarse_step
+        self.fine_step = fine_step
+
+    def minimize(self, problem: PartitionProblem) -> SearchResult:
+        grid = np.asarray(problem.threshold_grid(), dtype=np.float64)
+        if grid.size == 0:
+            raise SearchError("empty threshold grid")
+        coarse = grid[:: self.coarse_step]
+        log, best_t, best_ms = _evaluate_grid(problem, coarse)
+        probed = {float(t) for t, _ in log}
+        # Refine within one coarse stride of the winner.
+        resolution = float(grid[1] - grid[0]) if grid.size > 1 else 1.0
+        stride = self.coarse_step * resolution
+        fine = grid[(grid >= best_t - stride) & (grid <= best_t + stride)][:: self.fine_step]
+        for t in fine:
+            t = float(t)
+            if t in probed:
+                continue
+            ms = problem.evaluate_ms(t)
+            log.append((t, ms))
+            probed.add(t)
+            if ms < best_ms:
+                best_t, best_ms = t, ms
+        return SearchResult(
+            threshold=best_t,
+            value_ms=best_ms,
+            evaluations=tuple(log),
+            cost_ms=float(sum(ms for _, ms in log)),
+        )
+
+
+class RaceCoarseSearch(SearchStrategy):
+    """Race probe for the coarse split, then a local fine search.
+
+    The probe (Section IV-A.b) runs the *whole* sample on the CPU and the
+    GPU simultaneously and stops when the first device finishes; the share
+    of work the slower device completed by then is the coarse split.
+    Problems supporting this expose ``race_probe() -> (threshold, cost_ms)``;
+    without it the strategy degrades to a coarse grid sweep.
+    """
+
+    def __init__(self, fine_radius: float = 4.0, fine_step: float = 1.0) -> None:
+        if fine_radius < 0 or fine_step <= 0:
+            raise SearchError("fine_radius must be >= 0 and fine_step > 0")
+        self.fine_radius = fine_radius
+        self.fine_step = fine_step
+
+    def minimize(self, problem: PartitionProblem) -> SearchResult:
+        grid = np.asarray(problem.threshold_grid(), dtype=np.float64)
+        if grid.size == 0:
+            raise SearchError("empty threshold grid")
+        probe = getattr(problem, "race_probe", None)
+        log: list[tuple[float, float]] = []
+        extra_cost = 0.0
+        if probe is not None:
+            coarse_t, probe_cost = probe()
+            extra_cost = float(probe_cost)
+        else:
+            coarse_log, coarse_t, _ = _evaluate_grid(problem, grid[::8])
+            log.extend(coarse_log)
+        lo, hi = coarse_t - self.fine_radius, coarse_t + self.fine_radius
+        fine = grid[(grid >= lo) & (grid <= hi)]
+        if fine.size == 0:
+            # Clamp to the nearest grid point if the probe landed off-grid.
+            fine = np.array([grid[np.argmin(np.abs(grid - coarse_t))]])
+        probed = {t for t, _ in log}
+        best_t, best_ms = None, float("inf")
+        for t in fine:
+            t = float(t)
+            if t in probed:
+                continue
+            ms = problem.evaluate_ms(t)
+            log.append((t, ms))
+            probed.add(t)
+        for t, ms in log:
+            if ms < best_ms:
+                best_t, best_ms = t, ms
+        assert best_t is not None
+        return SearchResult(
+            threshold=best_t,
+            value_ms=best_ms,
+            evaluations=tuple(log),
+            cost_ms=float(sum(ms for _, ms in log)) + extra_cost,
+            extra_cost_ms=extra_cost,
+        )
+
+
+class GradientDescentSearch(SearchStrategy):
+    """Discrete descent with step halving (Section V-A.2).
+
+    From each start point, move to whichever neighbor at distance *step*
+    improves; halve the step when neither does; stop at step < grid
+    resolution or the evaluation budget.  Because the scale-free density
+    landscape can be multimodal (distinct mesh regions produce distinct
+    density modes), the search restarts from *n_starts* points spread over
+    the grid and keeps the global best; probes share one cache.
+    """
+
+    def __init__(
+        self,
+        initial_step: float | None = None,
+        start: float | None = None,
+        n_starts: int = 3,
+        max_evaluations: int = 64,
+    ) -> None:
+        if max_evaluations < 3:
+            raise SearchError("max_evaluations must be >= 3")
+        if n_starts < 1:
+            raise SearchError("n_starts must be >= 1")
+        self.initial_step = initial_step
+        self.start = start
+        self.n_starts = n_starts
+        self.max_evaluations = max_evaluations
+
+    def minimize(self, problem: PartitionProblem) -> SearchResult:
+        grid = np.asarray(problem.threshold_grid(), dtype=np.float64)
+        if grid.size == 0:
+            raise SearchError("empty threshold grid")
+        lo, hi = float(grid[0]), float(grid[-1])
+        resolution = float(np.min(np.diff(grid))) if grid.size > 1 else 1.0
+
+        cache: dict[float, float] = {}
+        log: list[tuple[float, float]] = []
+
+        def snap(x: float) -> float:
+            """Clamp to range and snap to the grid's resolution."""
+            x = float(np.clip(x, lo, hi))
+            return float(grid[np.argmin(np.abs(grid - x))])
+
+        def probe(x: float) -> float:
+            x = snap(x)
+            if x not in cache:
+                ms = problem.evaluate_ms(x)
+                cache[x] = ms
+                log.append((x, ms))
+            return cache[x]
+
+        if self.start is not None:
+            starts = [float(np.clip(self.start, lo, hi))]
+        else:
+            # Quantile-spread starts: midpoint first, then outward.
+            fractions = [0.5, 0.2, 0.8, 0.35, 0.65][: self.n_starts]
+            starts = [lo + f * (hi - lo) for f in fractions]
+
+        for start in starts:
+            step = (
+                self.initial_step if self.initial_step is not None else (hi - lo) / 4
+            )
+            step = max(step, resolution)
+            t = snap(start)
+            current = probe(t)
+            while step >= resolution and len(log) < self.max_evaluations:
+                left, right = snap(t - step), snap(t + step)
+                candidates = [(probe(x), x) for x in {left, right} if x != t]
+                if candidates and min(candidates)[0] < current:
+                    current, t = min(candidates)
+                else:
+                    step /= 2
+            if len(log) >= self.max_evaluations:
+                break
+        best_t = min(cache, key=cache.get)  # type: ignore[arg-type]
+        return SearchResult(
+            threshold=best_t,
+            value_ms=cache[best_t],
+            evaluations=tuple(log),
+            cost_ms=float(sum(ms for _, ms in log)),
+        )

@@ -1,0 +1,81 @@
+"""Estimate variability of the sampled threshold.
+
+The framework's estimate comes from a random sample, so the threshold is a
+random variable.  The paper notes that the small sample "allows us the
+freedom to conduct multiple runs ... to understand the behavior"; this
+module packages that freedom: draw the estimate several times with
+independent sampling streams and summarize the spread, including a simple
+percentile interval a practitioner can act on (e.g. "pad the GPU share to
+the interval's upper end when CPU overload is the expensive side").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.framework import SamplingPartitioner
+from repro.core.problem import PartitionProblem
+from repro.core.search import SearchStrategy
+from repro.util.errors import ValidationError
+from repro.util.rng import RngLike, as_generator
+
+
+@dataclass(frozen=True)
+class ThresholdDistribution:
+    """Spread of the estimated threshold over independent sampling draws."""
+
+    thresholds: tuple[float, ...]
+    mean: float
+    std: float
+    low: float
+    high: float
+    confidence: float
+
+    @property
+    def n_draws(self) -> int:
+        return len(self.thresholds)
+
+    @property
+    def spread(self) -> float:
+        """Width of the percentile interval."""
+        return self.high - self.low
+
+
+def estimate_distribution(
+    problem: PartitionProblem,
+    search: SearchStrategy,
+    draws: int = 10,
+    confidence: float = 0.9,
+    sample_size: int | None = None,
+    rng: RngLike = None,
+    **partitioner_kwargs,
+) -> ThresholdDistribution:
+    """Draw *draws* independent estimates and summarize their spread.
+
+    ``confidence`` sets the central percentile interval (0.9 -> the 5th to
+    95th percentile of the observed thresholds).  Remaining keyword
+    arguments pass through to :class:`SamplingPartitioner`.
+    """
+    if draws < 2:
+        raise ValidationError("need at least 2 draws")
+    if not 0.0 < confidence < 1.0:
+        raise ValidationError("confidence must be in (0, 1)")
+    gen = as_generator(rng)
+    thresholds = []
+    for _ in range(draws):
+        partitioner = SamplingPartitioner(
+            search, sample_size=sample_size, rng=gen, **partitioner_kwargs
+        )
+        thresholds.append(partitioner.estimate(problem).threshold)
+    arr = np.asarray(thresholds, dtype=np.float64)
+    alpha = (1.0 - confidence) / 2.0
+    return ThresholdDistribution(
+        thresholds=tuple(float(t) for t in arr),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)),
+        low=float(np.quantile(arr, alpha)),
+        high=float(np.quantile(arr, 1.0 - alpha)),
+        confidence=confidence,
+    )

@@ -1,0 +1,63 @@
+"""Experiment harness — one module per table/figure of the paper.
+
+Every module exposes ``run(config) -> ExperimentReport``; the CLI
+(``python -m repro.experiments``) renders reports as aligned ASCII tables
+that mirror the rows/series the paper plots.
+
+| Experiment | Paper artefact | Module |
+|---|---|---|
+| ``fig1``   | Fig. 1 — dense MM, FLOPS split ≈ best | ``fig1_dense`` |
+| ``fig3``   | Fig. 3a/b — CC thresholds and times | ``fig3_cc`` |
+| ``fig4``   | Fig. 4 — CC sample-size sensitivity | ``fig4_cc_sensitivity`` |
+| ``fig5``   | Fig. 5a/b — spmm splits and times | ``fig5_spmm`` |
+| ``fig6``   | Fig. 6 — spmm sample-size sensitivity | ``fig6_spmm_sensitivity`` |
+| ``fig7``   | Fig. 7 — randomness ablation | ``fig7_randomness`` |
+| ``fig8``   | Fig. 8a/b — scale-free thresholds and times | ``fig8_scalefree`` |
+| ``fig9``   | Fig. 9 — scale-free sample-size sensitivity | ``fig9_scalefree_sensitivity`` |
+| ``table1`` | Table I — cross-study summary | ``table1_summary`` |
+| ``table2`` | Table II — dataset inventory | ``table2_datasets`` |
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import ExperimentReport
+
+from repro.experiments import (
+    ablation_cc_sampling,
+    ablation_dynamic,
+    ablation_hh_sampling,
+    ablation_spmm_sampling,
+    ext_multiway,
+    fig1_dense,
+    fig3_cc,
+    fig4_cc_sensitivity,
+    fig5_spmm,
+    fig6_spmm_sensitivity,
+    fig7_randomness,
+    fig8_scalefree,
+    fig9_scalefree_sensitivity,
+    table1_summary,
+    table2_datasets,
+)
+
+#: Experiment id -> run function, in the order ``all`` executes them.
+#: The ``ablation-*`` entries are not paper artefacts; they justify the
+#: reproduction's methodology decisions (see EXPERIMENTS.md).
+REGISTRY = {
+    "table2": table2_datasets.run,
+    "fig1": fig1_dense.run,
+    "fig3": fig3_cc.run,
+    "fig4": fig4_cc_sensitivity.run,
+    "fig5": fig5_spmm.run,
+    "fig6": fig6_spmm_sensitivity.run,
+    "fig7": fig7_randomness.run,
+    "fig8": fig8_scalefree.run,
+    "fig9": fig9_scalefree_sensitivity.run,
+    "table1": table1_summary.run,
+    "ablation-cc-sampling": ablation_cc_sampling.run,
+    "ablation-hh-sampling": ablation_hh_sampling.run,
+    "ablation-dynamic": ablation_dynamic.run,
+    "ablation-spmm-sampling": ablation_spmm_sampling.run,
+    "ext-multiway": ext_multiway.run,
+}
+
+__all__ = ["ExperimentConfig", "ExperimentReport", "REGISTRY"]

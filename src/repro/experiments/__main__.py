@@ -1,0 +1,97 @@
+"""CLI for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments                # run everything
+    python -m repro.experiments fig3 table1    # selected experiments
+    python -m repro.experiments --scale 0.03125 --seed 7 fig5
+    python -m repro.experiments --datasets cant,pwtk fig3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import REGISTRY, ExperimentConfig
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=[],
+        help=f"experiment ids to run (default: all of {', '.join(REGISTRY)})",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=ExperimentConfig().scale,
+        help="linear dataset scale relative to Table II (default: 1/16)",
+    )
+    parser.add_argument("--seed", type=int, default=ExperimentConfig().seed)
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=1,
+        help="sampling repetitions averaged inside each estimate",
+    )
+    parser.add_argument(
+        "--datasets",
+        type=str,
+        default=None,
+        help="comma-separated dataset restriction",
+    )
+    parser.add_argument(
+        "--csv",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="additionally dump every table as CSV files under DIR",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list the available experiments and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for exp_id, fn in REGISTRY.items():
+            doc = (fn.__module__ and __import__(fn.__module__, fromlist=["x"]).__doc__) or ""
+            first = doc.strip().splitlines()[0] if doc.strip() else ""
+            print(f"{exp_id:24s} {first}")
+        return 0
+
+    selected = args.experiments or list(REGISTRY)
+    unknown = [e for e in selected if e not in REGISTRY]
+    if unknown:
+        parser.error(
+            f"unknown experiment(s): {', '.join(unknown)}; known: {', '.join(REGISTRY)}"
+        )
+    config = ExperimentConfig(
+        scale=args.scale,
+        seed=args.seed,
+        repeats=args.repeats,
+        datasets=tuple(args.datasets.split(",")) if args.datasets else None,
+    )
+    for exp_id in selected:
+        start = time.perf_counter()
+        report = REGISTRY[exp_id](config)
+        elapsed = time.perf_counter() - start
+        print(report.render())
+        if args.csv:
+            for path in report.to_csv(args.csv):
+                print(f"[wrote {path}]")
+        print(f"[{exp_id} regenerated in {elapsed:.1f}s wall clock]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Shared experiment configuration.
+
+One :class:`ExperimentConfig` drives every experiment: the dataset scale
+(linear shrink of Table II's dimensions), the seed, and optional dataset
+restriction.  The simulated machine's *fixed* time constants shrink by the
+same scale so overhead ratios match the full-size testbed (see
+:func:`repro.platform.machine.paper_testbed`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.platform.machine import HeterogeneousMachine, paper_testbed
+from repro.util.errors import ValidationError
+from repro.workloads.dataset import Dataset
+from repro.workloads.suite import DEFAULT_SCALE, load_dataset
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiments.
+
+    Attributes
+    ----------
+    scale:
+        Linear dataset scale (1/16 default; benchmarks use smaller).
+    seed:
+        Base seed; per-dataset/per-repeat streams derive from it.
+    datasets:
+        Restrict an experiment to these dataset names (``None`` = the
+        experiment's paper-default selection).
+    repeats:
+        Sampling repetitions averaged inside each estimate.
+    """
+
+    scale: float = DEFAULT_SCALE
+    seed: int = 2017
+    datasets: tuple[str, ...] | None = None
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.scale <= 1.0:
+            raise ValidationError(f"scale must be in (0, 1], got {self.scale}")
+        if self.repeats < 1:
+            raise ValidationError("repeats must be >= 1")
+
+    def machine(self) -> HeterogeneousMachine:
+        """The simulated testbed at this config's time scale."""
+        return paper_testbed(time_scale=self.scale)
+
+    def dataset(self, name: str) -> Dataset:
+        """Load (cached) the scaled analog of Table II entry *name*."""
+        return _cached_dataset(name, self.scale)
+
+    def select(self, default_names: list[str]) -> list[str]:
+        """Dataset names for an experiment, honoring the restriction.
+
+        The restriction is intersected with the experiment's paper-default
+        selection (e.g. restricting the scale-free study to a road network
+        silently yields nothing, matching the paper's exclusions).
+        """
+        if self.datasets is None:
+            return list(default_names)
+        requested = set(self.datasets)
+        return [n for n in default_names if n in requested]
+
+
+@lru_cache(maxsize=64)
+def _cached_dataset(name: str, scale: float) -> Dataset:
+    return load_dataset(name, scale=scale)

@@ -1,0 +1,158 @@
+"""Extension — CC and spmm on one CPU plus two GPUs (threshold vectors).
+
+Not a paper artefact: Section II claims the technique "can be extended
+easily to other heterogeneous computing platforms" with the threshold
+"treated as a vector"; this experiment builds that case for both the CC
+vertex axis and the spmm work-share axis.  Per dataset:
+
+* best threshold *vector* (coordinate descent on the full input — the
+  exhaustive analog, since a full 2-D sweep is quadratic in grid points);
+* the sampling estimate (coordinate descent on a degree-weighted √n
+  sample, vector extrapolated by identity);
+* the NaiveStatic vector (peak-FLOPS shares);
+* the best *single*-GPU time (Figure 3's problem) for the speedup column.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.oracle import exhaustive_oracle
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import ExperimentReport, ReportTable
+from repro.hetero.cc import CcProblem
+from repro.hetero.multiway_cc import MultiwayCcProblem, coordinate_descent
+from repro.hetero.multiway_spmm import MultiwaySpmmProblem
+from repro.hetero.spmm import SpmmProblem
+from repro.util.rng import stable_seed
+
+DEFAULT_DATASETS = ["delaunay_n22", "germany_osm", "pwtk", "webbase-1M"]
+SPMM_DATASETS = ["cant", "pwtk", "webbase-1M"]
+N_GPUS = 2
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentReport:
+    config = config or ExperimentConfig()
+    names = config.select(DEFAULT_DATASETS) or DEFAULT_DATASETS
+    rows = []
+    metrics = {}
+    for name in names:
+        dataset = config.dataset(name)
+        graph = dataset.as_graph()
+        machine = config.machine()
+        problem = MultiwayCcProblem(graph, machine, n_gpus=N_GPUS, name=name)
+
+        best_vec, best_ms, _ = coordinate_descent(problem)
+        sub = problem.sample(
+            problem.default_sample_size(),
+            rng=stable_seed(config.seed, "multiway", name),
+        )
+        est_vec, _, _ = coordinate_descent(sub)
+        est_ms = problem.evaluate_ms(est_vec)
+        static_vec = problem.naive_static_thresholds()
+        static_ms = problem.evaluate_ms(static_vec)
+
+        single = exhaustive_oracle(CcProblem(graph, machine, name=name))
+        speedup = single.best_time_ms / est_ms if est_ms else float("inf")
+        slowdown = 100.0 * max(0.0, est_ms / best_ms - 1.0)
+        rows.append(
+            (
+                name,
+                str(tuple(int(t) for t in best_vec)),
+                best_ms,
+                str(tuple(int(t) for t in est_vec)),
+                est_ms,
+                slowdown,
+                static_ms,
+                single.best_time_ms,
+                speedup,
+            )
+        )
+        metrics[f"{name}_slowdown"] = slowdown
+        metrics[f"{name}_speedup_vs_single_gpu"] = speedup
+
+    avg_slow = float(np.mean([metrics[f"{n}_slowdown"] for n in names]))
+    avg_speed = float(np.mean([metrics[f"{n}_speedup_vs_single_gpu"] for n in names]))
+    metrics["avg_slowdown"] = avg_slow
+    metrics["avg_speedup_vs_single_gpu"] = avg_speed
+
+    # The same extension on the spmm work-share axis.
+    spmm_rows = []
+    spmm_names = config.select(SPMM_DATASETS) or SPMM_DATASETS
+    for name in spmm_names:
+        dataset = config.dataset(name)
+        machine = config.machine()
+        problem = MultiwaySpmmProblem(dataset.matrix, machine, n_gpus=N_GPUS, name=name)
+        best_vec, best_ms, _ = coordinate_descent(problem)
+        sub = problem.sample(
+            problem.default_sample_size(),
+            rng=stable_seed(config.seed, "multiway-spmm", name),
+        )
+        est_vec, _, _ = coordinate_descent(sub)
+        est_ms = problem.evaluate_ms(est_vec)
+        single = exhaustive_oracle(SpmmProblem(dataset.matrix, machine, name=name))
+        slowdown = 100.0 * max(0.0, est_ms / best_ms - 1.0)
+        speedup = single.best_time_ms / est_ms if est_ms else float("inf")
+        spmm_rows.append(
+            (
+                name,
+                str(tuple(int(t) for t in best_vec)),
+                best_ms,
+                str(tuple(int(t) for t in est_vec)),
+                est_ms,
+                slowdown,
+                single.best_time_ms,
+                speedup,
+            )
+        )
+        metrics[f"spmm_{name}_slowdown"] = slowdown
+        metrics[f"spmm_{name}_speedup_vs_single_gpu"] = speedup
+    metrics["spmm_avg_speedup_vs_single_gpu"] = float(
+        np.mean([metrics[f"spmm_{n}_speedup_vs_single_gpu"] for n in spmm_names])
+    )
+
+    return ExperimentReport(
+        exp_id="ext-multiway",
+        title=f"Extension - CC and spmm on CPU + {N_GPUS} GPUs (threshold vector)",
+        tables=(
+            ReportTable(
+                "CC: vector thresholds (cumulative %) and times (simulated ms)",
+                (
+                    "dataset",
+                    "best vector",
+                    "best ms",
+                    "estimated vector",
+                    "est ms",
+                    "slow %",
+                    "NaiveStatic ms",
+                    "1-GPU best ms",
+                    "speedup",
+                ),
+                tuple(rows),
+            ),
+            ReportTable(
+                "spmm: vector work shares (cumulative %) and times (simulated ms)",
+                (
+                    "dataset",
+                    "best vector",
+                    "best ms",
+                    "estimated vector",
+                    "est ms",
+                    "slow %",
+                    "1-GPU best ms",
+                    "speedup",
+                ),
+                tuple(spmm_rows),
+            ),
+        ),
+        notes=(
+            f"CC: avg slowdown of the sampled vector estimate vs best {avg_slow:.1f}%;"
+            f" avg speedup over the best single-GPU hybrid {avg_speed:.2f}x",
+            f"spmm: avg speedup over the best single-GPU split "
+            f"{metrics['spmm_avg_speedup_vs_single_gpu']:.2f}x"
+            " (result transfers serialize on the shared link, capping the gain)",
+            "Identify generalizes to vectors via cyclic coordinate descent on the sample;"
+            " extrapolation stays the identity (shares are scale-free).",
+        ),
+        metrics=metrics,
+    )

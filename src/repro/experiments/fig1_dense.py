@@ -1,0 +1,81 @@
+"""Figure 1 — dense matrix multiplication, the regular-workload contrast.
+
+For square dense GEMM instances ``mat.n``, compare the best threshold
+(exhaustive search) against the NaiveStatic FLOPS-ratio split and the
+sampling estimate, along with the corresponding runtimes.  The paper's
+point: for *regular* workloads the FLOPS split already lands near the best
+threshold — the sampling machinery only becomes necessary for irregular
+inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.framework import SamplingPartitioner
+from repro.core.oracle import exhaustive_oracle
+from repro.core.search import CoarseToFineSearch
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import ExperimentReport, ReportTable
+from repro.hetero.dense_mm import DenseMmProblem
+from repro.util.rng import stable_seed
+
+#: "mat.n" instance sizes (matrix dimension).
+DEFAULT_SIZES = [1024, 2048, 4096, 6144, 8192]
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentReport:
+    config = config or ExperimentConfig()
+    machine = config.machine()
+    rows_t = []
+    rows_ms = []
+    static_gaps = []
+    for n in DEFAULT_SIZES:
+        problem = DenseMmProblem(n, machine)
+        oracle = exhaustive_oracle(problem)
+        static_t = problem.naive_static_threshold()
+        partitioner = SamplingPartitioner(
+            CoarseToFineSearch(),
+            rng=stable_seed(config.seed, "fig1", n),
+        )
+        estimate = partitioner.estimate(problem)
+        static_gaps.append(abs(static_t - oracle.threshold))
+        rows_t.append(
+            (
+                problem.name,
+                oracle.threshold,
+                estimate.threshold,
+                static_t,
+                abs(static_t - oracle.threshold),
+            )
+        )
+        rows_ms.append(
+            (
+                problem.name,
+                oracle.best_time_ms,
+                problem.evaluate_ms(estimate.threshold),
+                problem.evaluate_ms(static_t),
+            )
+        )
+    avg_gap = float(np.mean(static_gaps))
+    return ExperimentReport(
+        exp_id="fig1",
+        title="Figure 1 - dense MM: FLOPS-ratio split vs best threshold",
+        tables=(
+            ReportTable(
+                "Thresholds (CPU work share, %)",
+                ("instance", "Exhaustive", "Estimated", "NaiveStatic", "|static-best| (pts)"),
+                tuple(rows_t),
+            ),
+            ReportTable(
+                "Times (simulated ms)",
+                ("instance", "Exhaustive", "Estimated", "NaiveStatic"),
+                tuple(rows_ms),
+            ),
+        ),
+        notes=(
+            f"avg |NaiveStatic - best| = {avg_gap:.2f} pts: the FLOPS split is near-optimal for this"
+            " regular workload, unlike the irregular case studies (Figures 3/5/8).",
+        ),
+        metrics={"avg_static_gap": avg_gap},
+    )

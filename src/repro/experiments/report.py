@@ -1,0 +1,112 @@
+"""Structured experiment output.
+
+An :class:`ExperimentReport` carries both the machine-readable rows (for
+tests and benchmarks to assert on) and a human-readable rendering that
+mirrors the paper's tables and figure series.
+"""
+
+from __future__ import annotations
+
+import csv
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from repro.util.fmt import format_table
+
+
+def _slug(text: str) -> str:
+    """Filesystem-safe slug for table titles."""
+    return re.sub(r"[^a-z0-9]+", "-", text.lower()).strip("-")[:60]
+
+
+@dataclass(frozen=True)
+class ReportTable:
+    """One titled table: headers plus rows of cells."""
+
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple[object, ...], ...]
+
+    def render(self, precision: int = 2) -> str:
+        return format_table(self.headers, self.rows, title=self.title, precision=precision)
+
+    def column(self, header: str) -> list[object]:
+        """All values of one column, by header name."""
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+
+@dataclass(frozen=True)
+class ExperimentReport:
+    """Everything one experiment produced.
+
+    Attributes
+    ----------
+    exp_id / title:
+        Identity ("fig3", "Figure 3 — ...").
+    tables:
+        The regenerated rows/series.
+    notes:
+        Comparisons against the paper's headline numbers and methodology
+        caveats, rendered after the tables.
+    metrics:
+        Headline scalars (averages) keyed by name, for tests/EXPERIMENTS.md.
+    """
+
+    exp_id: str
+    title: str
+    tables: tuple[ReportTable, ...]
+    notes: tuple[str, ...] = ()
+    metrics: dict = field(default_factory=dict)
+
+    def table(self, title_prefix: str) -> ReportTable:
+        """Find a table by title prefix."""
+        for t in self.tables:
+            if t.title.startswith(title_prefix):
+                return t
+        raise KeyError(f"no table starting with {title_prefix!r}")
+
+    def render(self) -> str:
+        parts = [f"{'#' * 2} {self.title}", ""]
+        for t in self.tables:
+            parts.append(t.render())
+            parts.append("")
+        if self.notes:
+            parts.append("Notes:")
+            parts.extend(f"  - {n}" for n in self.notes)
+            parts.append("")
+        if self.metrics:
+            parts.append("Metrics:")
+            parts.extend(
+                f"  {k} = {v:.3f}" if isinstance(v, float) else f"  {k} = {v}"
+                for k, v in self.metrics.items()
+            )
+        return "\n".join(parts).rstrip() + "\n"
+
+    def to_csv(self, directory: str | Path) -> list[Path]:
+        """Dump every table as ``<exp_id>--<table-slug>.csv`` under *directory*.
+
+        Returns the written paths.  Metrics go to a companion
+        ``<exp_id>--metrics.csv`` (name, value rows).
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written: list[Path] = []
+        for t in self.tables:
+            path = directory / f"{self.exp_id}--{_slug(t.title)}.csv"
+            with path.open("w", newline="") as fh:
+                writer = csv.writer(fh)
+                writer.writerow(t.headers)
+                writer.writerows(t.rows)
+            written.append(path)
+        if self.metrics:
+            path = directory / f"{self.exp_id}--metrics.csv"
+            with path.open("w", newline="") as fh:
+                writer = csv.writer(fh)
+                writer.writerow(("metric", "value"))
+                writer.writerows(sorted(self.metrics.items()))
+            written.append(path)
+        return written
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

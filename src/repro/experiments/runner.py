@@ -1,0 +1,167 @@
+"""Shared study runners.
+
+The three case studies (Figures 3, 5, 8 — and Table I, which aggregates
+them) all follow the same protocol per dataset: run the exhaustive oracle,
+the sampling estimate, and the baselines, with the NaiveAverage computed
+across the whole suite first.  This module implements that protocol once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core.baselines import (
+    BaselineComparison,
+    compare_with_baselines,
+    naive_average_threshold,
+)
+from repro.core.framework import SamplingPartitioner
+from repro.core.oracle import OracleResult, exhaustive_oracle
+from repro.core.problem import PartitionProblem
+from repro.core.search import (
+    CoarseToFineSearch,
+    GradientDescentSearch,
+    RaceCoarseSearch,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.hetero.cc import CcProblem
+from repro.hetero.hh_cpu import HhCpuProblem
+from repro.hetero.spmm import SpmmProblem
+from repro.util.rng import stable_seed
+from repro.workloads.suite import cc_subset_names, scalefree_subset_names, spmm_subset_names
+
+ProblemFactory = Callable[[ExperimentConfig, str], PartitionProblem]
+
+
+def cc_problem(config: ExperimentConfig, name: str) -> CcProblem:
+    """Algorithm 1 bound to dataset *name*'s graph view."""
+    dataset = config.dataset(name)
+    return CcProblem(dataset.as_graph(), config.machine(), name=name)
+
+
+def spmm_problem(config: ExperimentConfig, name: str) -> SpmmProblem:
+    """Algorithm 2 bound to dataset *name*'s matrix view (``A x A``)."""
+    dataset = config.dataset(name)
+    return SpmmProblem(dataset.matrix, config.machine(), name=name)
+
+
+def hh_problem(config: ExperimentConfig, name: str) -> HhCpuProblem:
+    """Algorithm 3 bound to dataset *name*'s matrix view (``A x A``)."""
+    dataset = config.dataset(name)
+    return HhCpuProblem(dataset.matrix, config.machine(), name=name)
+
+
+def cc_partitioner(config: ExperimentConfig, name: str, sample_size: int | None = None) -> SamplingPartitioner:
+    """The Section III identify setup: coarse step 8, fine step 1."""
+    return SamplingPartitioner(
+        CoarseToFineSearch(coarse_step=8, fine_step=1),
+        sample_size=sample_size,
+        repeats=config.repeats,
+        rng=stable_seed(config.seed, "cc", name),
+    )
+
+
+def spmm_partitioner(config: ExperimentConfig, name: str, sample_size: int | None = None) -> SamplingPartitioner:
+    """The Section IV identify setup: race probe + fine search."""
+    return SamplingPartitioner(
+        RaceCoarseSearch(),
+        sample_size=sample_size,
+        repeats=config.repeats,
+        rng=stable_seed(config.seed, "spmm", name),
+    )
+
+
+def hh_partitioner(config: ExperimentConfig, name: str, sample_size: int | None = None) -> SamplingPartitioner:
+    """The Section V identify setup: multi-start gradient descent."""
+    return SamplingPartitioner(
+        GradientDescentSearch(),
+        sample_size=sample_size,
+        repeats=config.repeats,
+        rng=stable_seed(config.seed, "hh", name),
+    )
+
+
+def run_study(
+    config: ExperimentConfig,
+    names: list[str],
+    problem_factory: ProblemFactory,
+    partitioner_factory: Callable[[ExperimentConfig, str], SamplingPartitioner],
+) -> list[BaselineComparison]:
+    """The Figure 3/5/8 protocol over *names*.
+
+    Two passes: the oracle sweep per dataset first (it also feeds the
+    NaiveAverage baseline, which the paper derives from "several rounds of
+    prior exhaustive runs" across the suite), then the sampling estimate
+    and baseline evaluations.
+    """
+    problems: list[PartitionProblem] = []
+    oracles: list[OracleResult] = []
+    for name in names:
+        problem = problem_factory(config, name)
+        problems.append(problem)
+        oracles.append(exhaustive_oracle(problem))
+    naive_avg = naive_average_threshold([o.threshold for o in oracles])
+    comparisons = []
+    for name, problem, oracle in zip(names, problems, oracles):
+        comparisons.append(
+            compare_with_baselines(
+                problem,
+                partitioner_factory(config, name),
+                naive_average=naive_avg,
+                oracle=oracle,
+            )
+        )
+    return comparisons
+
+
+def sensitivity_sweep(
+    problem: PartitionProblem,
+    partitioner_for: Callable[[int, int], SamplingPartitioner],
+    sizes: list[int],
+    draws: int = 5,
+) -> list[dict]:
+    """The Figure 4/6/9 protocol: total time vs sample size.
+
+    For each sample size, run *draws* independent estimates (different
+    sampling seeds) and average the estimation cost, the Phase-II time at
+    the estimated threshold, and their sum.  ``partitioner_for(size, draw)``
+    supplies a configured partitioner.
+    """
+    grid = problem.threshold_grid()
+    lo, hi = float(grid[0]), float(grid[-1])
+    rows = []
+    for size in sizes:
+        est_costs, phase2s = [], []
+        for draw in range(draws):
+            estimate = partitioner_for(size, draw).estimate(problem)
+            threshold = min(max(estimate.threshold, lo), hi)
+            est_costs.append(estimate.estimation_cost_ms)
+            phase2s.append(problem.evaluate_ms(threshold))
+        est = float(np.mean(est_costs))
+        p2 = float(np.mean(phase2s))
+        rows.append(
+            {
+                "sample_size": size,
+                "estimation_ms": est,
+                "phase2_ms": p2,
+                "total_ms": est + p2,
+            }
+        )
+    return rows
+
+
+def cc_study(config: ExperimentConfig) -> list[BaselineComparison]:
+    names = config.select(cc_subset_names())
+    return run_study(config, names, cc_problem, cc_partitioner)
+
+
+def spmm_study(config: ExperimentConfig) -> list[BaselineComparison]:
+    names = config.select(spmm_subset_names())
+    return run_study(config, names, spmm_problem, spmm_partitioner)
+
+
+def hh_study(config: ExperimentConfig) -> list[BaselineComparison]:
+    names = config.select(scalefree_subset_names())
+    return run_study(config, names, hh_problem, hh_partitioner)

@@ -1,0 +1,51 @@
+"""Graph substrate for the connected-components case study.
+
+Algorithm 1 of the paper splits a graph by a vertex-index threshold, finds
+components of the CPU part with chunked DFS, of the GPU part with
+Shiloach-Vishkin, and merges across the cut using the cross edges.  This
+subpackage provides every ingredient:
+
+* :mod:`repro.graphs.graph` — an immutable CSR adjacency container built
+  from an undirected edge list;
+* :mod:`repro.graphs.components` — sequential reference algorithms
+  (iterative DFS, BFS, union-find) used on the CPU side and in tests;
+* :mod:`repro.graphs.shiloach_vishkin` — the vectorized hook-and-shortcut
+  PRAM algorithm the GPU side runs, with iteration counting for the cost
+  model;
+* :mod:`repro.graphs.partition` — vertex-threshold partitioning with cross
+  edge extraction, plus O(1)-per-threshold edge-count profiles;
+* :mod:`repro.graphs.sampling` — the induced-subgraph sampler of Section
+  III (uniform √n vertices) and an edge-preserving alternative.
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs.components import (
+    components_dfs,
+    components_bfs,
+    components_union_find,
+    count_components,
+    UnionFind,
+)
+from repro.graphs.shiloach_vishkin import shiloach_vishkin, SvResult
+from repro.graphs.partition import (
+    split_by_vertex,
+    VertexPartition,
+    CutProfile,
+)
+from repro.graphs.sampling import induced_subgraph_sample, edge_preserving_sample
+
+__all__ = [
+    "Graph",
+    "components_dfs",
+    "components_bfs",
+    "components_union_find",
+    "count_components",
+    "UnionFind",
+    "shiloach_vishkin",
+    "SvResult",
+    "split_by_vertex",
+    "VertexPartition",
+    "CutProfile",
+    "induced_subgraph_sample",
+    "edge_preserving_sample",
+]

@@ -1,0 +1,134 @@
+"""Sequential connected-components algorithms.
+
+These are the CPU-side kernels of the paper's Algorithm 1 (each CPU thread
+runs sequential DFS over its chunk) and the reference implementations the
+test suite checks everything else against.
+
+All three return a *label array*: ``labels[v]`` is the smallest vertex id in
+``v``'s component, so labels are canonical and directly comparable across
+algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.util.errors import ValidationError
+
+_INDEX = np.int64
+
+
+def _canonicalize(labels: np.ndarray) -> np.ndarray:
+    """Relabel so each component is named by its minimum vertex id."""
+    n = labels.size
+    if n == 0:
+        return labels
+    # First occurrence order == minimum id order because we scan ascending.
+    first_seen: dict[int, int] = {}
+    out = np.empty(n, dtype=_INDEX)
+    for v in range(n):
+        root = int(labels[v])
+        if root not in first_seen:
+            first_seen[root] = v
+        out[v] = first_seen[root]
+    return out
+
+
+def components_dfs(graph: Graph) -> np.ndarray:
+    """Iterative depth-first search labelling (the paper's CPU kernel).
+
+    Uses an explicit stack; recursion would overflow on path-like road
+    networks.
+    """
+    labels = np.full(graph.n, -1, dtype=_INDEX)
+    indptr, adj = graph.indptr, graph.adjacency
+    stack: list[int] = []
+    for start in range(graph.n):
+        if labels[start] != -1:
+            continue
+        labels[start] = start
+        stack.append(start)
+        while stack:
+            v = stack.pop()
+            for w in adj[indptr[v] : indptr[v + 1]]:
+                if labels[w] == -1:
+                    labels[w] = start
+                    stack.append(int(w))
+    return labels
+
+
+def components_bfs(graph: Graph) -> np.ndarray:
+    """Frontier-at-a-time breadth-first labelling (vectorized per level)."""
+    labels = np.full(graph.n, -1, dtype=_INDEX)
+    indptr, adj = graph.indptr, graph.adjacency
+    for start in range(graph.n):
+        if labels[start] != -1:
+            continue
+        labels[start] = start
+        frontier = np.array([start], dtype=_INDEX)
+        while frontier.size:
+            counts = indptr[frontier + 1] - indptr[frontier]
+            total = int(counts.sum())
+            if total == 0:
+                break
+            ends = np.cumsum(counts)
+            ramp = np.arange(total, dtype=_INDEX) - np.repeat(ends - counts, counts)
+            neigh = adj[np.repeat(indptr[frontier], counts) + ramp]
+            fresh = neigh[labels[neigh] == -1]
+            if fresh.size == 0:
+                break
+            fresh = np.unique(fresh)
+            labels[fresh] = start
+            frontier = fresh
+    return labels
+
+
+class UnionFind:
+    """Disjoint sets with path halving and union by size."""
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValidationError("n must be non-negative")
+        self.parent = np.arange(n, dtype=_INDEX)
+        self.size = np.ones(n, dtype=_INDEX)
+        self.n_sets = n
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]  # path halving
+            x = int(parent[x])
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of *a* and *b*; returns True if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        self.n_sets -= 1
+        return True
+
+    def labels(self) -> np.ndarray:
+        """Canonical (min-id) label array for all elements."""
+        roots = np.array([self.find(i) for i in range(self.parent.size)], dtype=_INDEX)
+        return _canonicalize(roots)
+
+
+def components_union_find(graph: Graph) -> np.ndarray:
+    """Union-find labelling over the edge list (reference for tests)."""
+    uf = UnionFind(graph.n)
+    for a, b in zip(graph.edge_u.tolist(), graph.edge_v.tolist()):
+        uf.union(a, b)
+    return uf.labels()
+
+
+def count_components(labels: np.ndarray) -> int:
+    """Number of distinct labels."""
+    if labels.size == 0:
+        return 0
+    return int(np.unique(labels).size)

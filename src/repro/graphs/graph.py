@@ -1,0 +1,122 @@
+"""The CSR graph container.
+
+An undirected simple graph stored as a CSR adjacency structure plus the
+deduplicated edge list it was built from.  Vertex *order* is significant and
+preserved: the paper's Algorithm 1 cuts the graph at a vertex index, so the
+generator-provided ordering (spatial for road networks, crawl-like for web
+graphs) is part of the instance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+_INDEX = np.int64
+
+
+class Graph:
+    """Undirected simple graph in CSR form.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices (vertices are ``0 .. n-1``).
+    edge_u, edge_v:
+        Endpoint arrays of the undirected edge list.  Self loops are
+        rejected; duplicate edges (in either orientation) are folded.
+
+    Notes
+    -----
+    The adjacency arrays store both orientations (each edge appears twice),
+    the standard CSR-graph layout; :attr:`m` counts undirected edges once.
+    """
+
+    __slots__ = ("n", "edge_u", "edge_v", "indptr", "adjacency")
+
+    def __init__(self, n: int, edge_u: np.ndarray, edge_v: np.ndarray) -> None:
+        if n < 0:
+            raise ValidationError("n must be non-negative")
+        u = np.asarray(edge_u, dtype=_INDEX)
+        v = np.asarray(edge_v, dtype=_INDEX)
+        if u.shape != v.shape or u.ndim != 1:
+            raise ValidationError("edge_u/edge_v must be equal-length 1-D arrays")
+        if u.size:
+            if min(u.min(), v.min()) < 0 or max(u.max(), v.max()) >= n:
+                raise ValidationError("edge endpoint out of range")
+            if np.any(u == v):
+                raise ValidationError("self loops are not allowed")
+        # Canonicalize (lo, hi) and deduplicate.
+        lo = np.minimum(u, v)
+        hi = np.maximum(u, v)
+        if lo.size:
+            order = np.lexsort((hi, lo))
+            lo, hi = lo[order], hi[order]
+            keep = np.concatenate(([True], (lo[1:] != lo[:-1]) | (hi[1:] != hi[:-1])))
+            lo, hi = lo[keep], hi[keep]
+        self.n = int(n)
+        self.edge_u = lo
+        self.edge_v = hi
+        # Build CSR adjacency with both orientations.
+        both_src = np.concatenate([lo, hi])
+        both_dst = np.concatenate([hi, lo])
+        counts = np.bincount(both_src, minlength=n)
+        self.indptr = np.concatenate(([0], np.cumsum(counts))).astype(_INDEX)
+        order2 = np.argsort(both_src, kind="stable")
+        self.adjacency = both_dst[order2]
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        """Number of undirected edges (each counted once)."""
+        return int(self.edge_u.size)
+
+    def degrees(self) -> np.ndarray:
+        """Per-vertex degree."""
+        return np.diff(self.indptr)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """View of vertex *v*'s adjacency list."""
+        if not 0 <= v < self.n:
+            raise ValidationError(f"vertex {v} out of range [0, {self.n})")
+        return self.adjacency[self.indptr[v] : self.indptr[v + 1]]
+
+    def memory_bytes(self) -> int:
+        """Bytes of the CSR arrays — what a PCIe transfer ships."""
+        return int(self.indptr.nbytes + self.adjacency.nbytes)
+
+    def subgraph(self, vertices: np.ndarray) -> "Graph":
+        """Induced subgraph on *vertices*, relabeled to ``0..len-1``.
+
+        *vertices* must be sorted and unique; relative order (and therefore
+        the partition-relevant vertex ordering) is preserved.
+        """
+        vs = np.asarray(vertices, dtype=_INDEX)
+        if vs.size:
+            if np.any(np.diff(vs) <= 0):
+                raise ValidationError("vertices must be sorted and unique")
+            if vs[0] < 0 or vs[-1] >= self.n:
+                raise ValidationError("vertex out of range")
+        pos_u = np.searchsorted(vs, self.edge_u)
+        pos_v = np.searchsorted(vs, self.edge_v)
+        pos_u_c = np.minimum(pos_u, max(vs.size - 1, 0))
+        pos_v_c = np.minimum(pos_v, max(vs.size - 1, 0))
+        if vs.size == 0:
+            return Graph(0, np.empty(0, dtype=_INDEX), np.empty(0, dtype=_INDEX))
+        keep = (vs[pos_u_c] == self.edge_u) & (vs[pos_v_c] == self.edge_v)
+        return Graph(vs.size, pos_u_c[keep], pos_v_c[keep])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph(n={self.n}, m={self.m})"
+
+
+def from_edge_list(n: int, edges: np.ndarray) -> Graph:
+    """Build a :class:`Graph` from an ``(m, 2)`` edge array."""
+    edges = np.asarray(edges, dtype=_INDEX)
+    if edges.size == 0:
+        return Graph(n, np.empty(0, dtype=_INDEX), np.empty(0, dtype=_INDEX))
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise ValidationError(f"expected (m, 2) edge array, got {edges.shape}")
+    return Graph(n, edges[:, 0], edges[:, 1])

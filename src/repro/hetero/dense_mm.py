@@ -1,0 +1,145 @@
+"""Heterogeneous dense matrix multiplication — the Figure-1 contrast case.
+
+The paper opens with this experiment: for a *regular* workload (dense GEMM
+with uniformly random entries, MKL on the CPU and cuBLAS on the GPU), the
+split derived from the raw FLOPS ratio lands close to the exhaustive-search
+optimum, so naive static partitioning suffices.  The rest of the paper is
+about why that stops being true for irregular workloads.
+
+**The threshold is the CPU's row share in percent.**  Work per row is
+uniform (``2 n k`` FLOPs), so row share equals work share; the cost model
+has no variance terms, which is precisely what makes the FLOPS split right.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.platform.costmodel import PROFILE_DENSE_MM, dense_mm_time
+from repro.platform.machine import HeterogeneousMachine
+from repro.platform.timeline import Timeline
+from repro.util.errors import ValidationError
+from repro.util.rng import RngLike, as_generator
+
+_BYTES_PER_ELEMENT = 8
+
+
+@dataclass(frozen=True)
+class DenseMmRunResult:
+    """Outcome of actually executing the partitioned GEMM."""
+
+    threshold: float
+    split_row: int
+    product: np.ndarray
+    timeline: Timeline
+
+    @property
+    def total_ms(self) -> float:
+        return self.timeline.total_ms
+
+
+class DenseMmProblem:
+    """``C = A x B`` for dense square ``n x n`` operands.
+
+    The instance is fully characterized by its dimension (entry values do
+    not affect the regular cost model), so construction takes ``n`` rather
+    than materialized arrays; :meth:`run` generates operands on demand for
+    numeric verification.
+    """
+
+    def __init__(
+        self, n: int, machine: HeterogeneousMachine, name: str | None = None
+    ) -> None:
+        if n < 0:
+            raise ValidationError("n must be non-negative")
+        self.n = n
+        self.machine = machine
+        self.name = name or f"mat.{n}"
+
+    # -- PartitionProblem protocol --------------------------------------------------
+
+    def evaluate_ms(self, threshold: float) -> float:
+        return self._pipeline(threshold).total_ms
+
+    def timeline(self, threshold: float) -> Timeline:
+        return self._pipeline(threshold)
+
+    def threshold_grid(self) -> np.ndarray:
+        return np.arange(0.0, 101.0)
+
+    def sample(self, size: int, rng: RngLike = None) -> "DenseMmProblem":
+        """A random principal submatrix is just a smaller dense instance."""
+        as_generator(rng)  # randomness is immaterial for a regular instance
+        return DenseMmProblem(
+            min(size, self.n),
+            self.machine.without_fixed_overheads(),
+            name=f"{self.name}/sample{size}",
+        )
+
+    def sampling_cost_ms(self, size: int) -> float:
+        """Gathering an s x s dense block touches s*s elements."""
+        size = min(size, self.n)
+        work = float(size) * float(size)
+        return self.machine.cpu_sequential_ms(work, PROFILE_DENSE_MM)
+
+    def default_sample_size(self) -> int:
+        return max(2, self.n // 4)
+
+    def naive_static_threshold(self) -> float:
+        """The FLOPS-ratio split — the star of Figure 1."""
+        return 100.0 * (1.0 - self.machine.gpu_peak_share)
+
+    def gpu_only_threshold(self) -> float:
+        return 0.0
+
+    # -- analytic pricing ---------------------------------------------------------------
+
+    def _split_row(self, threshold: float) -> int:
+        if not 0.0 <= threshold <= 100.0:
+            raise ValidationError(f"threshold must be in [0, 100], got {threshold}")
+        return int(round(self.n * threshold / 100.0))
+
+    def _pipeline(self, threshold: float) -> Timeline:
+        split = self._split_row(threshold)
+        n = self.n
+        tl = Timeline()
+        if n == 0:
+            return tl
+        # Operands are dual-resident (see the spmm module); only the GPU's
+        # slab of C returns over PCIe.
+        flops_per_row = 2.0 * n * n
+        cpu_ms = (
+            dense_mm_time(split * flops_per_row, self.machine.cpu, PROFILE_DENSE_MM)
+            if split > 0
+            else 0.0
+        )
+        gpu_ms = (
+            dense_mm_time((n - split) * flops_per_row, self.machine.gpu, PROFILE_DENSE_MM)
+            if split < n
+            else 0.0
+        )
+        tl.overlap([("cpu", "gemm-cpu", cpu_ms), ("gpu", "gemm-gpu", gpu_ms)])
+        if split < n:
+            d2h = (n - split) * n * _BYTES_PER_ELEMENT  # C2 back
+            tl.run("pcie", "d2h-result", self.machine.transfer_ms(d2h))
+        return tl
+
+    # -- real execution --------------------------------------------------------------------
+
+    def run(self, threshold: float, rng: RngLike = None) -> DenseMmRunResult:
+        """Numerically execute the partitioned GEMM on random operands."""
+        gen = as_generator(rng)
+        a = gen.uniform(0.0, 1.0, size=(self.n, self.n))
+        b = gen.uniform(0.0, 1.0, size=(self.n, self.n))
+        split = self._split_row(threshold)
+        c_top = a[:split] @ b
+        c_bottom = a[split:] @ b
+        product = np.vstack([c_top, c_bottom]) if self.n else np.zeros((0, 0))
+        return DenseMmRunResult(
+            threshold=float(threshold),
+            split_row=split,
+            product=product,
+            timeline=self._pipeline(threshold),
+        )

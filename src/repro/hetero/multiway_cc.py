@@ -1,0 +1,411 @@
+"""Multi-device extension: hybrid CC on one CPU plus several GPUs.
+
+The paper claims its technique "can be extended easily to other
+heterogeneous computing platforms ... the values of the threshold(s) now
+can be treated as a vector, unlike a scalar in the simple CPU+GPU case"
+(Section II) but never builds that case.  This module does: Algorithm 1
+generalized to ``1 + n_gpus`` devices, with the vertex axis cut into
+``n_gpus + 1`` contiguous ranges by a *threshold vector* of cumulative
+percentages.
+
+* Threshold vector ``(c_1, …, c_g)`` with ``0 <= c_1 <= … <= c_g <= 100``:
+  the CPU owns vertices below ``c_1`` percent, GPU ``i`` owns the range
+  ``[c_i, c_{i+1})`` (the last GPU up to 100).
+* Phase II runs all devices overlapped; a merge pass on GPU 1 joins the
+  per-range labelings over every cross-range edge.
+* Identify uses cyclic coordinate descent: each coordinate is a 1-D search
+  with the others held fixed, repeated until no coordinate moves — the
+  natural vector generalization of the paper's 1-D searches.
+
+Pricing needs "edges within [a, b)" for arbitrary percent ranges; a
+:class:`RangeCutProfile` precomputes a 2-D dominance count over the
+101-point percent grid so every range query is O(1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.shiloach_vishkin import (
+    SvResult,
+    modeled_sv_iterations,
+    shiloach_vishkin,
+    sv_on_edges,
+)
+from repro.hetero.cc import (
+    MERGE_EFFECTIVE_PASSES,
+    SV_EFFECTIVE_PASSES,
+    PROFILE_EDGE_SCAN,
+    modeled_merge_iterations,
+)
+from repro.platform.costmodel import (
+    PROFILE_CC,
+    PROFILE_MERGE,
+    effective_rate_per_ms,
+)
+from repro.platform.machine import HeterogeneousMachine
+from repro.platform.timeline import Timeline
+from repro.util.errors import ValidationError
+from repro.util.rng import RngLike, as_generator
+
+_INDEX = np.int64
+_BYTES_PER_VERTEX = 8
+
+#: Number of percent grid points (0..100 inclusive).
+_GRID = 101
+
+
+class RangeCutProfile:
+    """O(1) edge counts for arbitrary percent ranges of the vertex axis.
+
+    ``within(a, b)`` = edges with both endpoints in percent range
+    ``[a, b)``; built from a 2-D cumulative histogram of each edge's
+    (min-endpoint bucket, max-endpoint bucket).
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self._n = graph.n
+        self._m = graph.m
+        # cut_positions[c] = first vertex at or above c percent.
+        self._cuts = np.array(
+            [int(round(graph.n * c / 100.0)) for c in range(_GRID)], dtype=_INDEX
+        )
+        if graph.m:
+            lo_bucket = np.searchsorted(self._cuts, graph.edge_u, side="right") - 1
+            hi_bucket = np.searchsorted(self._cuts, graph.edge_v, side="right") - 1
+            hist = np.zeros((_GRID, _GRID), dtype=np.int64)
+            np.add.at(hist, (lo_bucket, hi_bucket), 1)
+            self._cum = hist.cumsum(axis=0).cumsum(axis=1)
+        else:
+            self._cum = np.zeros((_GRID, _GRID), dtype=np.int64)
+        degrees = graph.degrees()
+        self._degree_prefix = np.concatenate(([0], np.cumsum(degrees))).astype(_INDEX)
+        self._degree_prefix_max = np.concatenate(
+            ([0], np.maximum.accumulate(degrees) if graph.n else [])
+        ).astype(_INDEX)
+
+    def cut_index(self, percent: int) -> int:
+        return int(self._cuts[percent])
+
+    def within(self, a: int, b: int) -> int:
+        """Edges with both endpoints in percent range [a, b)."""
+        if not 0 <= a <= b <= 100:
+            raise ValidationError(f"bad percent range [{a}, {b})")
+        if a == b:
+            return 0
+        # Buckets a..b-1 inclusive on both axes.
+        lo, hi = a, b - 1
+        total = self._cum[hi, hi]
+        left = self._cum[lo - 1, hi] if lo else 0
+        top = self._cum[hi, lo - 1] if lo else 0
+        corner = self._cum[lo - 1, lo - 1] if lo else 0
+        return int(total - left - top + corner)
+
+    def degree_sum(self, a: int, b: int) -> int:
+        """Adjacency volume of percent range [a, b)."""
+        return int(
+            self._degree_prefix[self.cut_index(b)]
+            - self._degree_prefix[self.cut_index(a)]
+        )
+
+    def max_degree_below(self, percent: int) -> int:
+        return int(self._degree_prefix_max[self.cut_index(percent)])
+
+    @property
+    def m(self) -> int:
+        return self._m
+
+
+@dataclass(frozen=True)
+class MultiwayCcRunResult:
+    """Outcome of executing the generalized Algorithm 1."""
+
+    thresholds: tuple[float, ...]
+    labels: np.ndarray
+    n_components: int
+    merge_sv: SvResult | None
+    timeline: Timeline
+
+    @property
+    def total_ms(self) -> float:
+        return self.timeline.total_ms
+
+
+class MultiwayCcProblem:
+    """Connected components on one CPU plus *n_gpus* identical GPUs.
+
+    The GPU spec is taken from *machine*; every GPU is one more copy of it
+    (the common multi-accelerator node shape).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        machine: HeterogeneousMachine,
+        n_gpus: int = 2,
+        name: str = "multiway-cc",
+        vertex_weights: np.ndarray | None = None,
+        work_scale: float = 1.0,
+    ) -> None:
+        if n_gpus < 1:
+            raise ValidationError("n_gpus must be >= 1")
+        if work_scale <= 0:
+            raise ValidationError("work_scale must be positive")
+        self.graph = graph
+        self.machine = machine
+        self.n_gpus = n_gpus
+        self.name = name
+        self.work_scale = float(work_scale)
+        self._profile = RangeCutProfile(graph)
+        if vertex_weights is not None:
+            vertex_weights = np.asarray(vertex_weights, dtype=np.float64)
+            if vertex_weights.shape != (graph.n,):
+                raise ValidationError(f"vertex_weights must have shape ({graph.n},)")
+            atom = 1.0 + vertex_weights
+            rep = self.work_scale * atom
+            self._rep_prefix = np.concatenate(([0.0], np.cumsum(rep)))
+            self._atom_prefix_max = np.concatenate(
+                ([0.0], np.maximum.accumulate(atom))
+            )
+        else:
+            self._rep_prefix = None
+            self._atom_prefix_max = None
+        self.vertex_weights = vertex_weights
+
+    # -- threshold geometry ------------------------------------------------------
+
+    def _check_vector(self, thresholds: Sequence[float]) -> list[int]:
+        if len(thresholds) != self.n_gpus:
+            raise ValidationError(
+                f"expected {self.n_gpus} thresholds, got {len(thresholds)}"
+            )
+        cuts = [int(round(t)) for t in thresholds]
+        prev = 0
+        for c in cuts:
+            if not 0 <= c <= 100:
+                raise ValidationError(f"threshold {c} out of [0, 100]")
+            if c < prev:
+                raise ValidationError(
+                    f"thresholds must be non-decreasing, got {thresholds}"
+                )
+            prev = c
+        return cuts
+
+    def _ranges(self, thresholds: Sequence[float]) -> list[tuple[int, int]]:
+        """Percent ranges per device: CPU first, then each GPU."""
+        cuts = self._check_vector(thresholds)
+        bounds = [0, *cuts, 100]
+        return [(bounds[i], bounds[i + 1]) for i in range(len(bounds) - 1)]
+
+    # -- pricing --------------------------------------------------------------------
+
+    def _range_vertices(self, a: int, b: int) -> int:
+        return self._profile.cut_index(b) - self._profile.cut_index(a)
+
+    def _range_work(self, a: int, b: int) -> float:
+        if self._rep_prefix is not None:
+            lo = self._profile.cut_index(a)
+            hi = self._profile.cut_index(b)
+            return float(self._rep_prefix[hi] - self._rep_prefix[lo])
+        return self.work_scale * float(
+            self._range_vertices(a, b) + self._profile.degree_sum(a, b)
+        )
+
+    def _cpu_ms(self, a: int, b: int) -> float:
+        work = self._range_work(a, b)
+        if work == 0:
+            return 0.0
+        rate = effective_rate_per_ms(self.machine.cpu, PROFILE_CC)
+        threads = self.machine.cpu.threads
+        if self._atom_prefix_max is not None:
+            atom = float(self._atom_prefix_max[self._profile.cut_index(b)])
+        else:
+            atom = 1.0 + self._profile.max_degree_below(b)
+        heaviest = max(work / threads, atom)
+        return heaviest / (rate / threads) + self.machine.cpu.kernel_launch_us * 1e-3
+
+    def _gpu_ms(self, a: int, b: int) -> float:
+        work = self._range_work(a, b)
+        if work == 0:
+            return 0.0
+        n_range = max(self._range_vertices(a, b), 2)
+        rate = effective_rate_per_ms(self.machine.gpu, PROFILE_CC)
+        sweep = SV_EFFECTIVE_PASSES * work / rate
+        launches = (
+            modeled_sv_iterations(n_range) * self.machine.gpu.kernel_launch_us * 1e-3
+        )
+        return sweep + launches
+
+    def _pipeline(self, thresholds: Sequence[float]) -> Timeline:
+        ranges = self._ranges(thresholds)
+        tl = Timeline()
+        if self.graph.n == 0:
+            return tl
+        tasks = []
+        cpu_range = ranges[0]
+        if self._range_vertices(*cpu_range) > 0:
+            tasks.append(("cpu", "phase2/cc-cpu-dfs", self._cpu_ms(*cpu_range)))
+        for i, rng in enumerate(ranges[1:]):
+            if self._range_vertices(*rng) > 0:
+                tasks.append((f"gpu{i}", f"phase2/cc-gpu{i}-sv", self._gpu_ms(*rng)))
+        tl.overlap(tasks)
+        # Merge on GPU 0 over every cross-range edge; non-resident labels
+        # ship over PCIe first.
+        within = sum(self._profile.within(a, b) for a, b in ranges)
+        cross = self._profile.m - within
+        active = sum(1 for r in ranges if self._range_vertices(*r) > 0)
+        if active > 1:
+            foreign_vertices = self.graph.n - self._range_vertices(*ranges[1])
+            tl.run(
+                "pcie",
+                "phase2/h2d-labels",
+                self.machine.transfer_ms(foreign_vertices * _BYTES_PER_VERTEX),
+            )
+            merge_rate = effective_rate_per_ms(self.machine.gpu, PROFILE_MERGE)
+            merge_ms = (
+                MERGE_EFFECTIVE_PASSES * (2.0 * cross + 1.0) / merge_rate
+                + modeled_merge_iterations(cross)
+                * self.machine.gpu.kernel_launch_us
+                * 1e-3
+            )
+            tl.run("gpu0", "phase2/merge-cross-edges", merge_ms)
+        return tl
+
+    # -- vector-threshold problem interface --------------------------------------------
+
+    def evaluate_ms(self, thresholds: Sequence[float]) -> float:
+        return self._pipeline(thresholds).total_ms
+
+    def timeline(self, thresholds: Sequence[float]) -> Timeline:
+        return self._pipeline(thresholds)
+
+    def coordinate_grid(self) -> np.ndarray:
+        return np.arange(0.0, 101.0)
+
+    def sample(self, size: int, rng: RngLike = None) -> "MultiwayCcProblem":
+        """Degree-weighted induced sample, as in the scalar CC problem."""
+        size = min(size, self.graph.n)
+        gen = as_generator(rng)
+        vs = np.sort(gen.choice(self.graph.n, size=size, replace=False))
+        sub = self.graph.subgraph(vs)
+        return MultiwayCcProblem(
+            sub,
+            self.machine.without_fixed_overheads(),
+            n_gpus=self.n_gpus,
+            name=f"{self.name}/sample{size}",
+            vertex_weights=self.graph.degrees()[vs].astype(np.float64),
+            work_scale=self.graph.n / max(size, 1),
+        )
+
+    def sampling_cost_ms(self, size: int) -> float:
+        avg_deg = 2.0 * self.graph.m / max(self.graph.n, 1)
+        work = float(size) * (1.0 + avg_deg) + self.graph.n / 8.0
+        return work / effective_rate_per_ms(self.machine.cpu, PROFILE_EDGE_SCAN)
+
+    def default_sample_size(self) -> int:
+        return max(2, math.isqrt(self.graph.n))
+
+    def naive_static_thresholds(self) -> tuple[float, ...]:
+        """Peak-FLOPS split: CPU share first, then equal GPU shares."""
+        g = self.machine.gpu.peak_gflops * self.n_gpus
+        c = self.machine.cpu.peak_gflops
+        cpu_share = 100.0 * c / (c + g)
+        gpu_share = (100.0 - cpu_share) / self.n_gpus
+        return tuple(
+            min(100.0, round(cpu_share + i * gpu_share))
+            for i in range(self.n_gpus)
+        )
+
+    # -- real execution -------------------------------------------------------------------
+
+    def run(self, thresholds: Sequence[float]) -> MultiwayCcRunResult:
+        """Execute the generalized algorithm and merge all ranges."""
+        ranges = self._ranges(thresholds)
+        n = self.graph.n
+        labels = np.empty(n, dtype=_INDEX)
+        bounds = [self._profile.cut_index(p) for p in [0, *[b for _, b in ranges]]]
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            if hi > lo:
+                sub = self.graph.subgraph(np.arange(lo, hi, dtype=_INDEX))
+                labels[lo:hi] = shiloach_vishkin(sub).labels + lo
+        # Merge over all edges whose endpoints fall in different ranges.
+        range_of = np.searchsorted(np.array(bounds[1:]), np.arange(n), side="right")
+        crossing = range_of[self.graph.edge_u] != range_of[self.graph.edge_v]
+        merge_sv = None
+        if np.any(crossing):
+            merge_sv = sv_on_edges(
+                n,
+                labels[self.graph.edge_u[crossing]],
+                labels[self.graph.edge_v[crossing]],
+            )
+            labels = merge_sv.labels[labels]
+        return MultiwayCcRunResult(
+            thresholds=tuple(float(t) for t in thresholds),
+            labels=labels,
+            n_components=int(np.unique(labels).size) if n else 0,
+            merge_sv=merge_sv,
+            timeline=self._pipeline(thresholds),
+        )
+
+
+def coordinate_descent(
+    problem: MultiwayCcProblem,
+    start: Sequence[float] | None = None,
+    max_sweeps: int = 6,
+    step: int = 4,
+) -> tuple[tuple[float, ...], float, int]:
+    """Cyclic coordinate descent over the threshold vector.
+
+    Each sweep refines one coordinate at a time over the percent grid
+    (stride *step*, then stride 1 around the winner), holding the others
+    fixed and keeping the vector non-decreasing.  Returns
+    ``(thresholds, value_ms, n_evaluations)``.
+    """
+    if start is None:
+        current = list(problem.naive_static_thresholds())
+    else:
+        current = [float(t) for t in start]
+    evals = 0
+
+    def value(vec: list[float]) -> float:
+        nonlocal evals
+        evals += 1
+        return problem.evaluate_ms(vec)
+
+    best_val = value(current)
+    for _ in range(max_sweeps):
+        moved = False
+        for i in range(problem.n_gpus):
+            lo = current[i - 1] if i > 0 else 0.0
+            hi = current[i + 1] if i + 1 < problem.n_gpus else 100.0
+            candidates = list(np.arange(lo, hi + 1, step))
+            best_c, best_c_val = current[i], best_val
+            for c in candidates:
+                if c == current[i]:
+                    continue
+                trial = list(current)
+                trial[i] = float(c)
+                v = value(trial)
+                if v < best_c_val:
+                    best_c, best_c_val = float(c), v
+            # Fine pass around the coarse winner.
+            for c in np.arange(max(lo, best_c - step), min(hi, best_c + step) + 1):
+                if c == current[i] or c == best_c:
+                    continue
+                trial = list(current)
+                trial[i] = float(c)
+                v = value(trial)
+                if v < best_c_val:
+                    best_c, best_c_val = float(c), v
+            if best_c != current[i]:
+                current[i] = best_c
+                best_val = best_c_val
+                moved = True
+        if not moved:
+            break
+    return tuple(current), best_val, evals

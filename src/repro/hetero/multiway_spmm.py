@@ -1,0 +1,205 @@
+"""Multi-device extension of Algorithm 2: spmm on one CPU plus several GPUs.
+
+The work-share axis generalizes directly: a threshold vector
+``(c_1, …, c_g)`` of cumulative work-share percentages gives the CPU the
+rows carrying work ``[0, c_1)`` percent and GPU ``i`` the rows carrying
+``[c_i, c_{i+1})`` percent (the last GPU up to 100).  Pricing reuses the
+scalar problem's prefix machinery; identify reuses the same cyclic
+coordinate descent as :mod:`repro.hetero.multiway_cc`.
+
+Each GPU's result slab ships back over the (shared) PCIe link, so result
+transfers serialize — one more reason adding GPUs has diminishing returns
+for output-heavy products.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.hetero.spmm import _BYTES_PER_NNZ, SpmmProblem
+from repro.platform.costmodel import effective_rate_per_ms
+from repro.platform.machine import HeterogeneousMachine
+from repro.platform.timeline import Timeline
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.ops import vstack
+from repro.sparse.spgemm import spgemm
+from repro.util.errors import ValidationError
+from repro.util.prefix import split_index_for_share
+from repro.util.rng import RngLike
+
+_INDEX = np.int64
+
+
+@dataclass(frozen=True)
+class MultiwaySpmmRunResult:
+    """Outcome of executing the generalized Algorithm 2."""
+
+    thresholds: tuple[float, ...]
+    split_rows: tuple[int, ...]
+    product: CsrMatrix
+    timeline: Timeline
+
+    @property
+    def total_ms(self) -> float:
+        return self.timeline.total_ms
+
+
+class MultiwaySpmmProblem:
+    """``A x A`` across one CPU and *n_gpus* identical GPUs.
+
+    Wraps a scalar :class:`SpmmProblem` for all per-row precomputation; the
+    vector threshold only changes how its prefix arrays are cut.
+    """
+
+    def __init__(
+        self,
+        a: CsrMatrix,
+        machine: HeterogeneousMachine,
+        n_gpus: int = 2,
+        name: str = "multiway-spmm",
+        base: SpmmProblem | None = None,
+    ) -> None:
+        if n_gpus < 1:
+            raise ValidationError("n_gpus must be >= 1")
+        self.n_gpus = n_gpus
+        self.name = name
+        self._base = base if base is not None else SpmmProblem(a, machine, name=name)
+        self.machine = self._base.machine
+
+    @property
+    def a(self) -> CsrMatrix:
+        return self._base.a
+
+    # -- threshold geometry -----------------------------------------------------
+
+    def _check_vector(self, thresholds: Sequence[float]) -> list[float]:
+        if len(thresholds) != self.n_gpus:
+            raise ValidationError(
+                f"expected {self.n_gpus} thresholds, got {len(thresholds)}"
+            )
+        prev = 0.0
+        out = []
+        for t in thresholds:
+            t = float(t)
+            if not 0.0 <= t <= 100.0:
+                raise ValidationError(f"threshold {t} out of [0, 100]")
+            if t < prev:
+                raise ValidationError(
+                    f"thresholds must be non-decreasing, got {thresholds}"
+                )
+            prev = t
+            out.append(t)
+        return out
+
+    def split_rows(self, thresholds: Sequence[float]) -> list[int]:
+        """Row cut indices for the vector: CPU gets ``[0, i_1)``, GPU ``k``
+        gets ``[i_k, i_{k+1})`` with ``i_{g+1} = n``."""
+        cuts = self._check_vector(thresholds)
+        mults = self._base._rep_mults
+        return [split_index_for_share(mults, c / 100.0) for c in cuts]
+
+    # -- pricing -------------------------------------------------------------------
+
+    def _gpu_range_ms(self, lo: int, hi: int) -> float:
+        """GPU time for rows [lo, hi) (row-per-warp, suffix-max straggler bound)."""
+        if hi <= lo:
+            return 0.0
+        base = self._base
+        gpu = self.machine.gpu
+        padded = float(
+            base._rep_padded_prefix[hi] - base._rep_padded_prefix[lo]
+        )
+        rate = effective_rate_per_ms(gpu, base.profile)
+        throughput = padded / rate
+        warp_rate = rate * gpu.warp_size / gpu.cores
+        straggler = base.row_scale * float(base._flop_suffix_max[lo]) / warp_rate
+        return max(throughput, straggler) + gpu.kernel_launch_us * 1e-3
+
+    def _pipeline(self, thresholds: Sequence[float]) -> Timeline:
+        splits = self.split_rows(thresholds)
+        n = self.a.n_rows
+        bounds = [0, *splits, n]
+        tl = Timeline()
+        if n == 0:
+            return tl
+        tasks = []
+        cpu_rows = bounds[1]
+        if cpu_rows > 0:
+            tasks.append(("cpu", "phase2/spgemm-cpu", self._base._cpu_ms(cpu_rows)))
+        for i in range(self.n_gpus):
+            lo, hi = bounds[i + 1], bounds[i + 2]
+            ms = self._gpu_range_ms(lo, hi)
+            if ms > 0:
+                tasks.append((f"gpu{i}", f"phase2/spgemm-gpu{i}", ms))
+        tl.overlap(tasks)
+        # Result slabs share one link: transfers serialize.
+        base = self._base
+        for i in range(self.n_gpus):
+            lo, hi = bounds[i + 1], bounds[i + 2]
+            if hi <= lo:
+                continue
+            mults = (base._rep_flop_prefix[hi] - base._rep_flop_prefix[lo]) / 2.0
+            nbytes = mults * base._compression * _BYTES_PER_NNZ
+            tl.run("pcie", f"phase2/d2h-gpu{i}", self.machine.transfer_ms(nbytes))
+        return tl
+
+    def evaluate_ms(self, thresholds: Sequence[float]) -> float:
+        return self._pipeline(thresholds).total_ms
+
+    def timeline(self, thresholds: Sequence[float]) -> Timeline:
+        return self._pipeline(thresholds)
+
+    def coordinate_grid(self) -> np.ndarray:
+        return np.arange(0.0, 101.0)
+
+    def naive_static_thresholds(self) -> tuple[float, ...]:
+        """Peak-FLOPS shares: CPU first, then equal GPU shares."""
+        g = self.machine.gpu.peak_gflops * self.n_gpus
+        c = self.machine.cpu.peak_gflops
+        cpu_share = 100.0 * c / (c + g)
+        gpu_share = (100.0 - cpu_share) / self.n_gpus
+        return tuple(
+            min(100.0, round(cpu_share + i * gpu_share)) for i in range(self.n_gpus)
+        )
+
+    def sample(self, size: int, rng: RngLike = None) -> "MultiwaySpmmProblem":
+        """A sampled miniature with the same device count."""
+        sub = self._base.sample(size, rng=rng)
+        return MultiwaySpmmProblem(
+            sub.a,
+            sub.machine,
+            n_gpus=self.n_gpus,
+            name=f"{self.name}/sample{size}",
+            base=sub,
+        )
+
+    def sampling_cost_ms(self, size: int) -> float:
+        return self._base.sampling_cost_ms(size)
+
+    def default_sample_size(self) -> int:
+        return self._base.default_sample_size()
+
+    # -- real execution -----------------------------------------------------------------
+
+    def run(self, thresholds: Sequence[float]) -> MultiwaySpmmRunResult:
+        """Execute the partitioned product and concatenate the slabs."""
+        splits = self.split_rows(thresholds)
+        n = self.a.n_rows
+        bounds = [0, *splits, n]
+        parts = []
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            lo, hi = min(lo, n), min(hi, n)
+            if hi > lo:
+                parts.append(spgemm(self.a.row_slice(lo, hi), self._base.b))
+        product = parts[0] if parts else spgemm(self.a, self._base.b)
+        for p in parts[1:]:
+            product = vstack(product, p)
+        return MultiwaySpmmRunResult(
+            thresholds=tuple(float(t) for t in thresholds),
+            split_rows=tuple(splits),
+            product=product,
+            timeline=self._pipeline(thresholds),
+        )

@@ -1,0 +1,444 @@
+"""Algorithm 2 — row-split sparse matrix-matrix multiplication (Section IV).
+
+``C = A x B`` with the rows of ``A`` cut into a CPU prefix and a GPU suffix
+so that the prefix carries ``r``% of the *work volume* — the paper's split
+percentage.  Work volume is exact here: the load vector ``L_AB = |A| x V_B``
+gives each row's multiply count, and the split row is the prefix-sum
+crossing (Algorithm 2, lines 1-4).
+
+**The threshold is the CPU work share ``r`` in percent** (0 = everything on
+the GPU).  NaiveStatic puts ``r`` at the CPU's peak-FLOPS fraction (~12 on
+the paper's testbed); on irregular inputs the true optimum sits far from
+it, because effective sparse throughput has little to do with peak FLOPS —
+the gap this case study demonstrates.
+
+:class:`SpmmProblem` prices any split in O(threads) from prefix/suffix
+precomputations (the GPU side uses the row-per-warp quantization model of
+:func:`repro.platform.costmodel.gpu_row_per_warp_time`) and implements the
+Section IV identify probe (:meth:`race_probe`).  Sampled instances price
+the full instance they represent (represented-work arrays with true
+per-row atomicity floors); three samplers are available — the paper's
+principal submatrix plus row and importance-row variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.platform.costmodel import (
+    PROFILE_SPGEMM,
+    KernelProfile,
+    effective_rate_per_ms,
+)
+from repro.platform.machine import HeterogeneousMachine
+from repro.platform.timeline import Timeline
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.ops import vstack
+from repro.sparse.sampling import deterministic_block
+from repro.sparse.spgemm import estimate_compression, load_vector, spgemm
+from repro.util.errors import ValidationError
+from repro.util.prefix import split_index_for_share
+from repro.util.rng import RngLike, as_generator
+
+_INDEX = np.int64
+
+#: Bytes per CSR nonzero on the wire (int64 index + float64 value).
+_BYTES_PER_NNZ = 16
+#: Bytes per row pointer / row of the output dense accumulator metadata.
+_BYTES_PER_ROW = 8
+
+#: Streaming gather of sampled rows plus column filtering during sample
+#: construction (same rationale as the CC edge scan).
+PROFILE_NNZ_SCAN = KernelProfile(
+    name="nnz-scan",
+    cpu_efficiency=0.25,
+    gpu_efficiency=0.25,
+    bound="memory",
+    bytes_per_unit=16.0,
+)
+
+
+@dataclass(frozen=True)
+class SpmmRunResult:
+    """Outcome of actually executing Algorithm 2."""
+
+    threshold: float
+    split_row: int
+    product: CsrMatrix
+    timeline: Timeline
+
+    @property
+    def total_ms(self) -> float:
+        return self.timeline.total_ms
+
+
+class SpmmProblem:
+    """One ``A x B`` instance on one machine.
+
+    ``B`` defaults to ``A`` (the paper multiplies each matrix by itself for
+    compatibility).  When ``B is A``, sampling draws a *principal*
+    submatrix — the same random index set for rows and columns — so the
+    sampled product ``A' x A'`` is well defined and structure-preserving.
+    """
+
+    def __init__(
+        self,
+        a: CsrMatrix,
+        machine: HeterogeneousMachine,
+        b: CsrMatrix | None = None,
+        name: str = "spmm",
+        work_scale: float = 1.0,
+        row_scale: float = 1.0,
+        rep: np.ndarray | None = None,
+        compression: float | None = None,
+        sampling_method: str = "principal",
+        profile: KernelProfile | None = None,
+    ) -> None:
+        if b is not None and b is not a and a.n_cols != b.n_rows:
+            raise ValidationError(f"incompatible operands {a.shape} x {b.shape}")
+        if work_scale <= 0 or row_scale <= 0:
+            raise ValidationError("work_scale and row_scale must be positive")
+        if sampling_method not in ("principal", "rows", "importance"):
+            raise ValidationError(f"unknown sampling_method {sampling_method!r}")
+        self.a = a
+        self.b = b if b is not None else a
+        self.machine = machine
+        self.name = name
+        self.sampling_method = sampling_method
+        # Scaled identify pricing (see CcProblem): a sampled instance prices
+        # the full instance it represents.  work_scale multiplies work
+        # totals ((n/s)^3 for a principal submatrix — rows, row lengths, and
+        # B-row lengths all thin; n/s for a row sample); row_scale restores
+        # a single row's work for the atomicity and straggler floors
+        # ((n/s)^2 for a principal submatrix, 1 for row samples, whose rows
+        # keep all their elements).  `rep` overrides the uniform work_scale
+        # with per-row representation multipliers (importance sampling).
+        self.work_scale = float(work_scale)
+        self.row_scale = float(row_scale)
+        if rep is not None:
+            rep = np.asarray(rep, dtype=np.float64)
+            if rep.shape != (a.n_rows,):
+                raise ValidationError(f"rep must have shape ({a.n_rows},)")
+        self._rep = rep
+        self._compression_override = compression
+        # The SpGEMM kernel profile; injectable so a machine calibrated with
+        # repro.platform.calibration drives the pricing (see the
+        # calibrate_machine example).
+        self.profile = profile if profile is not None else PROFILE_SPGEMM
+        self._precompute()
+
+    def _precompute(self) -> None:
+        a, b = self.a, self.b
+        self._row_mults = load_vector(a, b)  # multiplies per row of A
+        flops = 2.0 * self._row_mults
+        rep = self._rep if self._rep is not None else np.full(a.n_rows, self.work_scale)
+        self._flop_prefix = np.concatenate(([0.0], np.cumsum(flops)))
+        self._flop_prefix_max = np.concatenate(
+            ([0.0], np.maximum.accumulate(flops) if flops.size else [])
+        )
+        # Represented (full-instance-equivalent) work for pricing.
+        self._rep_flop_prefix = np.concatenate(([0.0], np.cumsum(flops * rep)))
+        self._rep_mults = self._row_mults * rep
+        self._nnz_prefix = np.concatenate(([0], np.cumsum(a.row_nnz()))).astype(_INDEX)
+        # Row-per-warp GPU pricing (see costmodel.gpu_row_per_warp_time):
+        # each row's flops quantize up to a warp-wide unit, so suffix sums of
+        # the quantized flops give O(1) pricing at any cut.
+        n = a.n_rows
+        quantum = self.machine.gpu.warp_size * self.machine.gpu.flops_per_cycle
+        padded = np.ceil(flops / quantum) * quantum
+        self._padded_prefix = np.concatenate(([0.0], np.cumsum(padded)))
+        self._rep_padded_prefix = np.concatenate(([0.0], np.cumsum(padded * rep)))
+        # Suffix max of per-row flops for the straggler bound.
+        self._flop_suffix_max = (
+            np.concatenate((np.maximum.accumulate(flops[::-1])[::-1], [0.0]))
+            if n
+            else np.array([0.0])
+        )
+        self._total_flops = float(self._flop_prefix[-1])
+        # Output-size ratio for the result-transfer term, measured on a
+        # deterministic row sample (exact symbolic SpGEMM would cost as much
+        # as the product); samples inherit their parent's value.
+        if self._compression_override is not None:
+            self._compression = float(self._compression_override)
+        else:
+            self._compression = estimate_compression(a, b)
+
+    # -- threshold geometry --------------------------------------------------------
+
+    def split_row(self, threshold: float) -> int:
+        """First GPU row index for CPU work share *threshold* (percent)."""
+        if not 0.0 <= threshold <= 100.0:
+            raise ValidationError(f"threshold must be in [0, 100], got {threshold}")
+        # Shares are computed on *represented* work so a sampled instance's
+        # split corresponds to the full instance's (identical for full
+        # problems, where the representation is a constant).
+        return split_index_for_share(self._rep_mults, threshold / 100.0)
+
+    # -- PartitionProblem protocol ----------------------------------------------------
+
+    def evaluate_ms(self, threshold: float) -> float:
+        return self._pipeline(threshold).total_ms
+
+    def timeline(self, threshold: float) -> Timeline:
+        return self._pipeline(threshold)
+
+    def threshold_grid(self) -> np.ndarray:
+        return np.arange(0.0, 101.0)
+
+    def sample(
+        self, size: int, rng: RngLike = None, method: str | None = None
+    ) -> "SpmmProblem":
+        """Step 1 samplers (*method* defaults to ``sampling_method``):
+
+        * ``"principal"`` — Section IV-A.a: a random principal
+          ``size x size`` submatrix (the paper's sampler; requires square
+          operands).  Work thins cubically, one row's work quadratically.
+        * ``"rows"`` — *size* uniformly random rows of ``A`` against the
+          full ``B``: rows keep their true work, so atomicity floors are
+          exact and the quantization profile is undistorted (the
+          principal sampler's weakness on ultra-sparse inputs).
+        * ``"importance"`` — rows drawn proportional to their load-vector
+          work, each representing an equal work share (Hansen-Hurwitz);
+          the future-work extension, strongest on skewed inputs.
+        """
+        gen = as_generator(rng)
+        method = method or self.sampling_method
+        if method == "principal":
+            if self.a.n_rows != self.a.n_cols or self.b is not self.a:
+                raise ValidationError(
+                    "principal sampling requires a square A multiplied by itself"
+                )
+            size = min(size, self.a.n_rows, self.a.n_cols)
+            sel = np.sort(gen.choice(self.a.n_rows, size=size, replace=False))
+            sub = _principal_submatrix(self.a, sel)
+            ratio = self.a.n_rows / max(size, 1)
+            return SpmmProblem(
+                sub,
+                self.machine.without_fixed_overheads(),
+                name=f"{self.name}/sample{size}",
+                work_scale=ratio**3,
+                row_scale=ratio**2,
+                compression=self._compression,
+                profile=self.profile,
+            )
+        size = min(size, self.a.n_rows)
+        ratio = self.a.n_rows / max(size, 1)
+        if method == "rows":
+            rows = np.sort(gen.choice(self.a.n_rows, size=size, replace=False))
+            rep = None
+            work_scale = ratio
+        elif method == "importance":
+            work = np.maximum(self._row_mults, 1.0)
+            keys = gen.random(self.a.n_rows) ** (1.0 / work)
+            rows = np.sort(np.argpartition(keys, -size)[-size:])
+            p = work / work.sum()
+            rep = 1.0 / (size * p[rows])
+            work_scale = ratio
+        else:
+            raise ValidationError(f"unknown sampling method {method!r}")
+        sub_rows = self.a.select_rows(rows)
+        return SpmmProblem(
+            sub_rows,
+            self.machine.without_fixed_overheads(),
+            b=self.b,
+            name=f"{self.name}/{method}{size}",
+            work_scale=work_scale,
+            row_scale=1.0,
+            rep=rep,
+            compression=self._compression,
+            profile=self.profile,
+        )
+
+    def sampling_cost_ms(self, size: int) -> float:
+        """Cost of extracting the principal submatrix.
+
+        Gathers the sampled rows (their nonzeros, ~``nnz * size/n``) and
+        filters their columns against a membership bitmap; charged as a
+        streaming scan.
+        """
+        frac = size / max(self.a.n_rows, 1)
+        work = float(self.a.nnz) * frac + float(size) + self.a.n_cols / 8.0
+        return work / effective_rate_per_ms(self.machine.cpu, PROFILE_NNZ_SCAN)
+
+    def run_overhead_ms(self, sample_size: int) -> float:
+        """Fixed cost of one identify run: Phase-I launch, two device
+        launches, one result transfer."""
+        return (
+            3 * self.machine.gpu.kernel_launch_us * 1e-3
+            + self.machine.cpu.kernel_launch_us * 1e-3
+            + self.machine.link.latency_us * 1e-3
+        )
+
+    def probe_cost_ms(self) -> float:
+        """Actual cost of one identify probe on a sampled instance.
+
+        A probe run multiplies the *sample* operands; its real cost is the
+        sample's own (unscaled) work at combined machine throughput, not
+        the scaled decision value ``evaluate_ms`` reports.
+        """
+        if self.work_scale == 1.0 and self._rep is None:
+            raise ValidationError("probe_cost_ms is defined for sampled instances")
+        work = float(self._flop_prefix[-1])
+        cpu_rate = effective_rate_per_ms(self.machine.cpu, self.profile)
+        gpu_rate = effective_rate_per_ms(self.machine.gpu, self.profile)
+        return work / (cpu_rate + gpu_rate)
+
+    def default_sample_size(self) -> int:
+        """The paper's choice: an ``n/4 x n/4`` principal submatrix (K=4)."""
+        return max(2, self.a.n_rows // 4)
+
+    def naive_static_threshold(self) -> float:
+        """CPU work share from the peak-FLOPS ratio (~12 on the testbed)."""
+        return 100.0 * (1.0 - self.machine.gpu_peak_share)
+
+    def gpu_only_threshold(self) -> float:
+        return 0.0
+
+    def phase1_setup_ms(self) -> float:
+        """One-time Phase-I cost: computing ``L_AB`` on the GPU and scanning it.
+
+        Threshold independent, so charged once per instance rather than per
+        probe run (any implementation caches the load vector between runs).
+        """
+        work = 2.0 * self.a.nnz + self.a.n_rows
+        return self.machine.gpu_iterative_ms(work, 1, PROFILE_NNZ_SCAN)
+
+    # -- identify probe (Section IV-A.b) ---------------------------------------------
+
+    def race_probe(self) -> tuple[float, float]:
+        """Race the whole instance on both devices; derive the coarse split.
+
+        Both devices multiply the full ``A' x B'`` independently; when the
+        first finishes, the work fraction the slower device has completed
+        fixes the effective rate ratio, and the balanced split follows as
+        ``r = rate_cpu / (rate_cpu + rate_gpu)``.  Cost is the winner's
+        runtime (the race stops there).
+        """
+        cpu_ms = self._cpu_ms(self.a.n_rows)
+        gpu_ms = self._gpu_ms(0)
+        if cpu_ms <= 0 and gpu_ms <= 0:
+            return 50.0, 0.0
+        if cpu_ms <= 0:
+            return 100.0, gpu_ms
+        if gpu_ms <= 0:
+            return 0.0, cpu_ms
+        ratio = gpu_ms / cpu_ms  # rate_cpu / rate_gpu
+        threshold = 100.0 * ratio / (1.0 + ratio)
+        # The race executes the real (unscaled) sample product; scaled
+        # decision values are divided back down for the wall-clock cost by
+        # the mean representation factor.
+        mean_rep = (
+            self._rep_flop_prefix[-1] / self._flop_prefix[-1]
+            if self._flop_prefix[-1]
+            else 1.0
+        )
+        return threshold, min(cpu_ms, gpu_ms) / mean_rep
+
+    # -- analytic pricing ---------------------------------------------------------------
+
+    def _cpu_ms(self, split: int) -> float:
+        """CPU time for rows [0, split): work-balanced chunks, row atomicity.
+
+        Sampled instances price the represented full instance: totals scale
+        by ``work_scale``, a single row's atomicity floor by ``row_scale``.
+        """
+        if split <= 0:
+            return 0.0
+        rate = effective_rate_per_ms(self.machine.cpu, self.profile)
+        work = float(self._rep_flop_prefix[split])
+        threads = self.machine.cpu.threads
+        atom = self.row_scale * float(self._flop_prefix_max[split])
+        heaviest = max(work / threads, atom)
+        return heaviest / (rate / threads) + self.machine.cpu.kernel_launch_us * 1e-3
+
+    def _gpu_ms(self, split: int) -> float:
+        """GPU time for rows [split, n): row-per-warp model (scaled)."""
+        n = self.a.n_rows
+        if split >= n:
+            return 0.0
+        gpu = self.machine.gpu
+        padded_work = float(
+            self._rep_padded_prefix[n] - self._rep_padded_prefix[split]
+        )
+        rate = effective_rate_per_ms(gpu, self.profile)
+        throughput = padded_work / rate
+        warp_rate = rate * gpu.warp_size / gpu.cores
+        straggler = (
+            self.row_scale * float(self._flop_suffix_max[split]) / warp_rate
+        )
+        return max(throughput, straggler) + gpu.kernel_launch_us * 1e-3
+
+    def _pipeline(self, threshold: float) -> Timeline:
+        split = self.split_row(threshold)
+        n = self.a.n_rows
+        tl = Timeline()
+        if n == 0:
+            return tl
+        # Operands are dual-resident (host and device copies made at load
+        # time, as the hybrid implementation in [22] keeps them); only the
+        # GPU's result rows cross PCIe during the run.  Phase I (the load
+        # vector, Algorithm 2 lines 1-3) is threshold-independent and
+        # computed once per instance, so it is instance setup rather than
+        # per-run cost — see :meth:`phase1_setup_ms`.
+        # Overlapped multiplication (devices with no rows stay idle).
+        tasks = [
+            ("cpu", "phase2/spgemm-cpu", self._cpu_ms(split)),
+            ("gpu", "phase2/spgemm-gpu", self._gpu_ms(split)),
+        ]
+        tl.overlap([t for t in tasks if t[2] > 0.0])
+        # Ship the GPU's result rows back and append on the CPU (line 7).
+        if split < n:
+            gpu_mults = (
+                self._rep_flop_prefix[n] - self._rep_flop_prefix[split]
+            ) / 2.0
+            c2_bytes = gpu_mults * self._compression * _BYTES_PER_NNZ
+            tl.run("pcie", "phase2/d2h-result", self.machine.transfer_ms(c2_bytes))
+        return tl
+
+    # -- real execution ----------------------------------------------------------------
+
+    def run(self, threshold: float) -> SpmmRunResult:
+        """Execute Algorithm 2: two partial products, concatenated."""
+        split = self.split_row(threshold)
+        a1 = self.a.row_slice(0, split)
+        a2 = self.a.row_slice(split, self.a.n_rows)
+        c1 = spgemm(a1, self.b)
+        c2 = spgemm(a2, self.b)
+        product = vstack(c1, c2)
+        return SpmmRunResult(
+            threshold=float(threshold),
+            split_row=split,
+            product=product,
+            timeline=self._pipeline(threshold),
+        )
+
+    # -- Figure-7 ablation hook -----------------------------------------------------------
+
+    def deterministic_sample(self, size: int, position: int, grid: int = 2) -> "SpmmProblem":
+        """A *predetermined* block sample (no randomness) for the ablation.
+
+        Priced identically to the random sample — the comparison isolates
+        the sampler's randomness, not the pricing.
+        """
+        size = min(size, self.a.n_rows, self.a.n_cols)
+        sub = deterministic_block(self.a, size, position, grid)
+        ratio = self.a.n_rows / max(size, 1)
+        return SpmmProblem(
+            sub,
+            self.machine.without_fixed_overheads(),
+            name=f"{self.name}/block{position}",
+            work_scale=ratio**3,
+            row_scale=ratio**2,
+            compression=self._compression,
+            profile=self.profile,
+        )
+
+
+def _principal_submatrix(a: CsrMatrix, sel: np.ndarray) -> CsrMatrix:
+    """Rows and columns of *a* restricted to the same sorted index set."""
+    sub_rows = a.select_rows(sel)
+    from repro.sparse.sampling import _restrict_columns
+
+    return _restrict_columns(sub_rows, sel)

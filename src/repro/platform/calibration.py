@@ -1,0 +1,113 @@
+"""Calibrating kernel profiles against measurements.
+
+The shipped :class:`~repro.platform.costmodel.KernelProfile` presets are
+calibrated to the paper's testbed (DESIGN.md §5).  A user targeting *their
+own* machine re-fits them from a handful of measurements: run the kernel at
+a few sizes, record ``(work_units, milliseconds)`` pairs, and fit the
+sustained-efficiency fraction.
+
+The fit is deliberately simple and robust: each measurement implies an
+efficiency ``work / (time * peak_rate)``; the profile takes the median,
+and :func:`validate_profile` reports the relative error of every
+measurement under the fitted profile so outliers are visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.platform.costmodel import KernelProfile, effective_rate_per_ms
+from repro.platform.device import DeviceSpec
+from repro.util.errors import ValidationError
+
+#: One measurement: total work units and the measured milliseconds.
+Measurement = tuple[float, float]
+
+
+def _peak_rate_per_ms(spec: DeviceSpec, bound: str, bytes_per_unit: float) -> float:
+    if bound == "compute":
+        return spec.peak_gflops * 1e6
+    return spec.mem_bandwidth_gbs * 1e6 / bytes_per_unit
+
+
+def fit_efficiency(
+    spec: DeviceSpec,
+    measurements: Sequence[Measurement],
+    bound: str = "compute",
+    bytes_per_unit: float = 8.0,
+) -> float:
+    """Median sustained-efficiency fraction implied by *measurements*.
+
+    Each pair ``(work, ms)`` implies ``eff = work / (ms * peak)``; the
+    median resists warm-up and outlier runs.  The result is clipped to
+    ``(0, 1]`` — a measurement "above peak" indicates mislabeled units and
+    raises instead of silently clamping.
+    """
+    if not measurements:
+        raise ValidationError("need at least one measurement")
+    peak = _peak_rate_per_ms(spec, bound, bytes_per_unit)
+    effs = []
+    for work, ms in measurements:
+        if work <= 0 or ms <= 0:
+            raise ValidationError(f"measurement ({work}, {ms}) must be positive")
+        eff = work / (ms * peak)
+        if eff > 1.0:
+            raise ValidationError(
+                f"measurement ({work}, {ms}) implies {eff:.2f}x peak - "
+                "check the work units"
+            )
+        effs.append(eff)
+    return float(np.median(effs))
+
+
+def calibrate_profile(
+    name: str,
+    cpu: DeviceSpec,
+    gpu: DeviceSpec,
+    cpu_measurements: Sequence[Measurement],
+    gpu_measurements: Sequence[Measurement],
+    bound: str = "compute",
+    bytes_per_unit: float = 8.0,
+) -> KernelProfile:
+    """Fit a full :class:`KernelProfile` from per-device measurements."""
+    return KernelProfile(
+        name=name,
+        cpu_efficiency=fit_efficiency(cpu, cpu_measurements, bound, bytes_per_unit),
+        gpu_efficiency=fit_efficiency(gpu, gpu_measurements, bound, bytes_per_unit),
+        bound=bound,
+        bytes_per_unit=bytes_per_unit,
+    )
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Per-measurement relative errors of a profile's predictions."""
+
+    relative_errors: tuple[float, ...]
+
+    @property
+    def max_error(self) -> float:
+        return max(self.relative_errors) if self.relative_errors else 0.0
+
+    @property
+    def mean_error(self) -> float:
+        return float(np.mean(self.relative_errors)) if self.relative_errors else 0.0
+
+
+def validate_profile(
+    spec: DeviceSpec,
+    profile: KernelProfile,
+    measurements: Sequence[Measurement],
+) -> ValidationReport:
+    """Relative |predicted - measured| / measured for every measurement."""
+    rate = effective_rate_per_ms(spec, profile)
+    errors = []
+    for work, ms in measurements:
+        if ms <= 0:
+            raise ValidationError("measured time must be positive")
+        predicted = work / rate
+        errors.append(abs(predicted - ms) / ms)
+    return ValidationReport(relative_errors=tuple(errors))

@@ -1,0 +1,122 @@
+"""Device specifications.
+
+A :class:`DeviceSpec` captures the handful of architectural parameters the
+cost models need.  Two presets reproduce the paper's testbed (Section
+III-B.1): a dual-socket Intel Xeon E5-2650 and an NVidia Tesla K40c.
+
+The peak single-precision rates implied by the presets give a GPU:CPU FLOPS
+ratio of roughly 88:12 — exactly the ratio behind the paper's "NaiveStatic"
+partitioning baseline, which assigns the GPU an 88% share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural description of one compute device.
+
+    Attributes
+    ----------
+    name:
+        Human-readable label used in timelines and reports.
+    kind:
+        ``"cpu"`` or ``"gpu"``; the cost models dispatch on this.
+    cores:
+        Physical compute cores (CUDA cores for a GPU).
+    threads:
+        Schedulable hardware threads.  For the CPU preset this includes SMT
+        (the paper runs 40 threads on 20 cores); for a GPU it equals
+        ``cores``.
+    clock_ghz:
+        Core clock in GHz.
+    flops_per_cycle:
+        Peak single-precision FLOPs each core retires per cycle (FMA units
+        count as 2).
+    mem_bandwidth_gbs:
+        Peak memory bandwidth in GB/s; bandwidth-bound kernels (sparse
+        traversals) are charged against this instead of FLOPS.
+    sm_count / warp_size:
+        GPU-only: streaming multiprocessors and SIMD width.  ``warp_size``
+        of 1 on a CPU means "no lockstep execution".
+    kernel_launch_us:
+        Fixed cost of dispatching one kernel (GPU) or one parallel region
+        (CPU).  This is what makes iterative GPU algorithms (Shiloach-
+        Vishkin) pay per-round overhead.
+    """
+
+    name: str
+    kind: str
+    cores: int
+    threads: int
+    clock_ghz: float
+    flops_per_cycle: float
+    mem_bandwidth_gbs: float
+    sm_count: int = 1
+    warp_size: int = 1
+    kernel_launch_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("cpu", "gpu"):
+            raise ValidationError(f"kind must be 'cpu' or 'gpu', got {self.kind!r}")
+        for attr in ("cores", "threads", "sm_count", "warp_size"):
+            if getattr(self, attr) < 1:
+                raise ValidationError(f"{attr} must be >= 1")
+        for attr in ("clock_ghz", "flops_per_cycle", "mem_bandwidth_gbs"):
+            if getattr(self, attr) <= 0:
+                raise ValidationError(f"{attr} must be positive")
+        if self.kernel_launch_us < 0:
+            raise ValidationError("kernel_launch_us must be non-negative")
+
+    @property
+    def peak_gflops(self) -> float:
+        """Peak single-precision GFLOP/s across all cores."""
+        return self.cores * self.clock_ghz * self.flops_per_cycle
+
+    @property
+    def warps_in_flight(self) -> int:
+        """Warp-wide execution slots available machine-wide (GPU: lanes/warp_size)."""
+        return max(1, self.cores // self.warp_size)
+
+
+def cpu_xeon_e5_2650_dual() -> DeviceSpec:
+    """The paper's host CPU: dual Xeon E5-2650, 2x10 cores @ 2.3 GHz, 40 SMT threads.
+
+    12.7 effective SP FLOPs/cycle/core gives ~584 peak GFLOP/s, which pins
+    the GPU:CPU peak ratio at 88:12 — the paper's NaiveStatic split.
+    """
+    return DeviceSpec(
+        name="Intel Xeon E5-2650 (dual)",
+        kind="cpu",
+        cores=20,
+        threads=40,
+        clock_ghz=2.3,
+        flops_per_cycle=12.7,
+        mem_bandwidth_gbs=102.4,
+        sm_count=2,
+        warp_size=1,
+        kernel_launch_us=5.0,
+    )
+
+
+def gpu_tesla_k40c() -> DeviceSpec:
+    """The paper's accelerator: Tesla K40c, 15 SMX x 192 cores @ 745 MHz.
+
+    2 FLOPs/cycle/core (FMA) gives the advertised ~4.29 SP TFLOP/s.
+    """
+    return DeviceSpec(
+        name="NVidia Tesla K40c",
+        kind="gpu",
+        cores=2880,
+        threads=2880,
+        clock_ghz=0.745,
+        flops_per_cycle=2.0,
+        mem_bandwidth_gbs=288.0,
+        sm_count=15,
+        warp_size=32,
+        kernel_launch_us=8.0,
+    )

@@ -1,0 +1,49 @@
+"""PCI Express transfer model.
+
+Heterogeneous algorithms pay to ship operands to the GPU and results back.
+The model is the standard latency + size/bandwidth affine cost; it is what
+moves the optimal split toward the CPU on small inputs and adds a fixed tax
+to every GPU phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class PcieLink:
+    """A host<->device interconnect.
+
+    Attributes
+    ----------
+    bandwidth_gbs:
+        Sustained unidirectional bandwidth in GB/s.
+    latency_us:
+        Per-transfer fixed latency (driver + DMA setup), microseconds.
+    """
+
+    bandwidth_gbs: float
+    latency_us: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0:
+            raise ValidationError("bandwidth_gbs must be positive")
+        if self.latency_us < 0:
+            raise ValidationError("latency_us must be non-negative")
+
+    def transfer_ms(self, nbytes: float) -> float:
+        """Milliseconds to move *nbytes* across the link (one direction)."""
+        if nbytes < 0:
+            raise ValidationError(f"nbytes must be non-negative, got {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        seconds = self.latency_us * 1e-6 + nbytes / (self.bandwidth_gbs * 1e9)
+        return seconds * 1e3
+
+
+def pcie_gen3_x16() -> PcieLink:
+    """The paper-era link: PCIe 3.0 x16, ~12 GB/s sustained, ~10 us latency."""
+    return PcieLink(bandwidth_gbs=12.0, latency_us=10.0)

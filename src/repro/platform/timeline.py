@@ -1,0 +1,147 @@
+"""Execution-trace recording.
+
+A :class:`Timeline` is the simulator's clock.  Heterogeneous algorithms
+append *spans* to it: sequential spans advance the clock by their duration,
+overlapped groups (the CPU and GPU working simultaneously, Phase II of
+Algorithms 1-3) advance it by the maximum of their members — the classic
+fork-join composition.
+
+Timelines are also evidence: tests and experiments inspect the recorded
+spans to check that, e.g., the estimation phase really ran before Phase II
+and that the overhead percentage is computed from the right spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Span:
+    """One contiguous activity on one resource.
+
+    Attributes
+    ----------
+    resource:
+        ``"cpu"``, ``"gpu"``, ``"pcie"``, or any caller-defined label.
+    label:
+        What the resource was doing (``"phase2/spgemm"`` ...).
+    start_ms / duration_ms:
+        Position on the simulated clock.
+    """
+
+    resource: str
+    label: str
+    start_ms: float
+    duration_ms: float
+
+    @property
+    def end_ms(self) -> float:
+        return self.start_ms + self.duration_ms
+
+
+class Timeline:
+    """An append-only trace with a monotone clock."""
+
+    def __init__(self) -> None:
+        self._spans: list[Span] = []
+        self._cursor: float = 0.0
+
+    # -- recording ---------------------------------------------------------
+
+    def run(self, resource: str, label: str, duration_ms: float) -> Span:
+        """Append one sequential span and advance the clock."""
+        self._check_duration(duration_ms)
+        span = Span(resource, label, self._cursor, duration_ms)
+        self._spans.append(span)
+        self._cursor += duration_ms
+        return span
+
+    def overlap(self, tasks: Sequence[tuple[str, str, float]]) -> float:
+        """Start every ``(resource, label, duration_ms)`` task now.
+
+        All tasks share the current clock as their start; the clock advances
+        by the longest duration.  Returns that duration (the makespan of the
+        group).  An empty group is a no-op returning 0.
+        """
+        longest = 0.0
+        for resource, label, duration_ms in tasks:
+            self._check_duration(duration_ms)
+            self._spans.append(Span(resource, label, self._cursor, duration_ms))
+            longest = max(longest, duration_ms)
+        self._cursor += longest
+        return longest
+
+    def record(self, resource: str, label: str, start_ms: float, duration_ms: float) -> Span:
+        """Append a span at an explicit offset (scheduler-style recording).
+
+        Unlike :meth:`run`, the span starts at *start_ms* rather than the
+        cursor; the clock advances to the span's end if that is later.
+        Used by schedulers that compute placements before recording them.
+        """
+        self._check_duration(duration_ms)
+        if start_ms < 0:
+            raise ValueError(f"start must be non-negative, got {start_ms}")
+        span = Span(resource, label, start_ms, duration_ms)
+        self._spans.append(span)
+        self._cursor = max(self._cursor, span.end_ms)
+        return span
+
+    def extend(self, other: "Timeline", prefix: str = "") -> None:
+        """Append *other*'s spans after this timeline's clock.
+
+        Used to splice a sub-computation's trace (e.g. one identify run on
+        the sampled input) into the parent trace.  Labels gain *prefix*.
+        """
+        offset = self._cursor
+        for span in other.spans:
+            self._spans.append(
+                Span(span.resource, prefix + span.label, offset + span.start_ms, span.duration_ms)
+            )
+        self._cursor = offset + other.total_ms
+
+    @staticmethod
+    def _check_duration(duration_ms: float) -> None:
+        if duration_ms < 0:
+            raise ValueError(f"duration must be non-negative, got {duration_ms}")
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def spans(self) -> list[Span]:
+        return list(self._spans)
+
+    @property
+    def total_ms(self) -> float:
+        """Simulated makespan: the current clock position."""
+        return self._cursor
+
+    def busy_ms(self, resource: str) -> float:
+        """Total time *resource* spent busy (ignores gaps and overlaps)."""
+        return sum(s.duration_ms for s in self._spans if s.resource == resource)
+
+    def labelled_ms(self, label_prefix: str) -> float:
+        """Wall-clock span covered by spans whose label starts with the prefix.
+
+        Computed as ``max(end) - min(start)`` over matching spans, i.e. the
+        duration of that phase on the shared clock.
+        """
+        matching = [s for s in self._spans if s.label.startswith(label_prefix)]
+        if not matching:
+            return 0.0
+        return max(s.end_ms for s in matching) - min(s.start_ms for s in matching)
+
+    def labels(self) -> list[str]:
+        return [s.label for s in self._spans]
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timeline(spans={len(self._spans)}, total_ms={self._cursor:.3f})"
+
+
+def merge_parallel(timelines: Iterable[Timeline]) -> float:
+    """Makespan of independent timelines executed concurrently."""
+    return max((t.total_ms for t in timelines), default=0.0)

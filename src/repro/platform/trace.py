@@ -1,0 +1,122 @@
+"""Timeline analysis and rendering.
+
+A :class:`~repro.platform.timeline.Timeline` records what the simulated
+machine did; this module turns that record into the numbers and pictures a
+performance engineer asks for:
+
+* :func:`utilization` — per-resource busy fraction over the makespan (the
+  "was the GPU idle while the CPU finished?" question that motivates
+  balanced partitioning in the first place);
+* :func:`idle_spans` — the gaps on one resource;
+* :func:`critical_summary` — which phase dominates the makespan;
+* :func:`render_gantt` — a plain-text Gantt chart for terminals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platform.timeline import Span, Timeline
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class ResourceUtilization:
+    """Busy statistics for one resource over a timeline."""
+
+    resource: str
+    busy_ms: float
+    makespan_ms: float
+    n_spans: int
+
+    @property
+    def busy_fraction(self) -> float:
+        return self.busy_ms / self.makespan_ms if self.makespan_ms else 0.0
+
+
+def utilization(timeline: Timeline) -> dict[str, ResourceUtilization]:
+    """Per-resource utilization over the timeline's makespan."""
+    makespan = timeline.total_ms
+    out: dict[str, ResourceUtilization] = {}
+    by_resource: dict[str, list[Span]] = {}
+    for span in timeline.spans:
+        by_resource.setdefault(span.resource, []).append(span)
+    for resource, spans in by_resource.items():
+        out[resource] = ResourceUtilization(
+            resource=resource,
+            busy_ms=sum(s.duration_ms for s in spans),
+            makespan_ms=makespan,
+            n_spans=len(spans),
+        )
+    return out
+
+
+def idle_spans(timeline: Timeline, resource: str) -> list[tuple[float, float]]:
+    """Gaps ``(start, end)`` where *resource* sits idle inside the makespan.
+
+    Overlapping spans on the same resource are merged before gap detection
+    (the simulator never schedules true self-overlap, but merged pricing
+    helpers may record abutting spans).
+    """
+    spans = sorted(
+        (s for s in timeline.spans if s.resource == resource),
+        key=lambda s: s.start_ms,
+    )
+    gaps: list[tuple[float, float]] = []
+    cursor = 0.0
+    for span in spans:
+        if span.start_ms > cursor + 1e-12:
+            gaps.append((cursor, span.start_ms))
+        cursor = max(cursor, span.end_ms)
+    if cursor + 1e-12 < timeline.total_ms:
+        gaps.append((cursor, timeline.total_ms))
+    return gaps
+
+
+def critical_summary(timeline: Timeline, top: int = 5) -> list[tuple[str, float]]:
+    """The *top* spans by duration, as ``(label, duration_ms)``."""
+    if top < 1:
+        raise ValidationError("top must be >= 1")
+    spans = sorted(timeline.spans, key=lambda s: s.duration_ms, reverse=True)
+    return [(s.label, s.duration_ms) for s in spans[:top]]
+
+
+def render_gantt(timeline: Timeline, width: int = 64) -> str:
+    """Plain-text Gantt chart: one row per resource, '#' where busy.
+
+    Rows are ordered cpu, gpu*, pcie, then anything else alphabetically;
+    durations quantize to ``makespan / width`` buckets (a span shorter than
+    one bucket still paints one cell, so nothing disappears).
+    """
+    if width < 8:
+        raise ValidationError("width must be >= 8")
+    makespan = timeline.total_ms
+    if makespan == 0 or not len(timeline):
+        return "(empty timeline)"
+
+    def order_key(name: str) -> tuple[int, str]:
+        if name == "cpu":
+            return (0, name)
+        if name.startswith("gpu"):
+            return (1, name)
+        if name == "pcie":
+            return (2, name)
+        return (3, name)
+
+    resources = sorted({s.resource for s in timeline.spans}, key=order_key)
+    label_w = max(len(r) for r in resources)
+    scale = width / makespan
+    lines = [
+        f"{'':{label_w}}  0{'.' * (width - 8)}{makespan:7.2f}ms",
+    ]
+    for resource in resources:
+        row = [" "] * width
+        for span in timeline.spans:
+            if span.resource != resource:
+                continue
+            a = int(span.start_ms * scale)
+            b = max(a + 1, int(span.end_ms * scale))
+            for i in range(a, min(b, width)):
+                row[i] = "#"
+        lines.append(f"{resource:{label_w}}  {''.join(row)}")
+    return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""From-scratch CSR sparse-matrix substrate.
+
+The paper's spmm case studies (Algorithms 2 and 3) run row-row Gustavson
+sparse matrix-matrix multiplication over CSR operands.  This subpackage
+implements that substrate without SciPy:
+
+* :mod:`repro.sparse.csr` — the :class:`CsrMatrix` container with strict
+  invariant validation, slicing, transpose, and spmv;
+* :mod:`repro.sparse.construct` — builders (COO with duplicate folding,
+  dense, diagonal, uniform random);
+* :mod:`repro.sparse.spgemm` — vectorized Gustavson SpGEMM plus the exact
+  per-row FLOP counter (the paper's load vector ``L_AB = A x V_B``);
+* :mod:`repro.sparse.sampling` — the two samplers the paper uses on
+  matrices: a uniform row+column submatrix (Section IV) and per-row element
+  sampling with column remapping (Section V), plus the deterministic block
+  sampler for the Figure-7 ablation;
+* :mod:`repro.sparse.stats` — row-density statistics used by the scale-free
+  threshold logic and the workload generators.
+"""
+
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.construct import (
+    from_coo,
+    from_dense,
+    from_rows,
+    identity,
+    random_uniform,
+)
+from repro.sparse.spgemm import spgemm, row_flops, load_vector, total_flops
+from repro.sparse.sampling import (
+    sample_submatrix,
+    sample_rows_remap,
+    deterministic_block,
+)
+from repro.sparse.stats import row_nnz_histogram, density, powerlaw_alpha_estimate
+
+__all__ = [
+    "CsrMatrix",
+    "from_coo",
+    "from_dense",
+    "from_rows",
+    "identity",
+    "random_uniform",
+    "spgemm",
+    "row_flops",
+    "load_vector",
+    "total_flops",
+    "sample_submatrix",
+    "sample_rows_remap",
+    "deterministic_block",
+    "row_nnz_histogram",
+    "density",
+    "powerlaw_alpha_estimate",
+]

@@ -1,0 +1,70 @@
+"""Structural CSR operations shared by the heterogeneous algorithms.
+
+Kept out of :mod:`repro.sparse.csr` so the container stays minimal; these
+are the combination primitives Phase IV of the algorithms needs: vertical
+concatenation of partial results (Algorithm 2, line 7), element-wise
+addition (Algorithm 3, Phase IV), and row masking (building the
+``A_H/A_L/B_H/B_L`` operands of Algorithm 3 without changing shape).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.construct import from_coo
+from repro.util.errors import ValidationError
+
+_INDEX = np.int64
+
+
+def vstack(top: CsrMatrix, bottom: CsrMatrix) -> CsrMatrix:
+    """Stack two matrices with equal column counts vertically."""
+    if top.n_cols != bottom.n_cols:
+        raise ValidationError(
+            f"column mismatch in vstack: {top.n_cols} vs {bottom.n_cols}"
+        )
+    indptr = np.concatenate([top.indptr, bottom.indptr[1:] + top.nnz])
+    return CsrMatrix(
+        indptr,
+        np.concatenate([top.indices, bottom.indices]),
+        np.concatenate([top.data, bottom.data]),
+        (top.n_rows + bottom.n_rows, top.n_cols),
+    )
+
+
+def add(x: CsrMatrix, y: CsrMatrix) -> CsrMatrix:
+    """Element-wise sum of two equal-shape matrices.
+
+    Coordinates are concatenated and folded; entries that cancel to exactly
+    zero remain as explicit zeros (structural union), matching how a
+    numeric combine phase would behave.
+    """
+    if x.shape != y.shape:
+        raise ValidationError(f"shape mismatch in add: {x.shape} vs {y.shape}")
+    rows_x = np.repeat(np.arange(x.n_rows, dtype=_INDEX), x.row_nnz())
+    rows_y = np.repeat(np.arange(y.n_rows, dtype=_INDEX), y.row_nnz())
+    return from_coo(
+        np.concatenate([rows_x, rows_y]),
+        np.concatenate([x.indices, y.indices]),
+        np.concatenate([x.data, y.data]),
+        x.shape,
+    )
+
+
+def mask_rows(a: CsrMatrix, keep: np.ndarray) -> CsrMatrix:
+    """Zero out (empty) every row where *keep* is false; shape unchanged.
+
+    This is how Algorithm 3's ``A_H``/``A_L`` operands are materialized:
+    ``A_H = mask_rows(A, row_nnz > t)`` keeps high-density rows in place so
+    products against it remain dimensionally meaningful.
+    """
+    keep = np.asarray(keep, dtype=bool)
+    if keep.shape != (a.n_rows,):
+        raise ValidationError(
+            f"mask of shape {keep.shape} incompatible with {a.n_rows} rows"
+        )
+    counts = a.row_nnz() * keep
+    indptr = np.concatenate(([0], np.cumsum(counts))).astype(_INDEX)
+    entry_keep = np.repeat(keep, a.row_nnz())
+    return CsrMatrix(indptr, a.indices[entry_keep], a.data[entry_keep], a.shape)

@@ -1,0 +1,112 @@
+"""Statistics used by the evaluation harness.
+
+The paper reports three kinds of numbers: absolute-percent gaps between an
+estimated and an oracle threshold (Figures 3a, 5a, 8a), relative slowdowns
+between two runtimes (Figures 3b, 5b, 8b), and per-workload averages of both
+(Table I).  The helpers here define those metrics once so every experiment
+computes them the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def percent_difference(value: float, reference: float) -> float:
+    """Signed percent difference of *value* from *reference*.
+
+    ``percent_difference(110, 100) == 10.0``.  A zero reference with a zero
+    value is 0%; a zero reference with a nonzero value is undefined and
+    raises :class:`ZeroDivisionError` deliberately — silent infinities would
+    poison averages.
+    """
+    if reference == 0:
+        if value == 0:
+            return 0.0
+        raise ZeroDivisionError("percent difference from a zero reference")
+    return 100.0 * (value - reference) / reference
+
+
+def absolute_percent_gap(estimated: float, oracle: float) -> float:
+    """The paper's "Threshold Difference": absolute gap in percentage points.
+
+    Thresholds in the paper are themselves percentages (0–100), and the
+    figures plot ``|estimated - exhaustive|`` directly in points, not
+    relative to the oracle value.
+    """
+    return abs(float(estimated) - float(oracle))
+
+
+def relative_slowdown(time: float, best_time: float) -> float:
+    """The paper's "Time Difference": percent increase of *time* over best.
+
+    Clamped below at 0 — an estimate can tie the oracle but, by definition
+    of the oracle as the grid minimum, never beat it on the same grid; tiny
+    negative values only arise from floating-point noise.
+    """
+    return max(0.0, percent_difference(time, best_time))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, the conventional average for runtime ratios."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("geometric mean of an empty sequence")
+    if np.any(arr <= 0):
+        raise ValueError("geometric mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def near_concave_violations(values: Sequence[float]) -> int:
+    """Count interior points that break unimodality (decrease-then-increase).
+
+    The sensitivity studies (Figures 4, 6, 9) claim the total time as a
+    function of sample size is "near concave" — i.e. it has a single valley.
+    We quantify "near": the number of direction changes beyond the single
+    allowed minimum.  A perfectly unimodal series returns 0.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size < 3:
+        return 0
+    diffs = np.sign(np.diff(arr))
+    # Drop plateaus, then count sign changes; a unimodal valley has at most
+    # one change (down -> up).
+    nonzero = diffs[diffs != 0]
+    if nonzero.size < 2:
+        return 0
+    changes = int(np.sum(nonzero[1:] != nonzero[:-1]))
+    return max(0, changes - 1)
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number summary of a metric across datasets."""
+
+    mean: float
+    median: float
+    minimum: float
+    maximum: float
+    count: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"mean={self.mean:.2f} median={self.median:.2f} "
+            f"min={self.minimum:.2f} max={self.maximum:.2f} n={self.count}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Build a :class:`Summary`; raises on empty input."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sequence")
+    return Summary(
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        count=int(arr.size),
+    )

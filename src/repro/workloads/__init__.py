@@ -1,0 +1,60 @@
+"""Synthetic analogs of the paper's Table II datasets.
+
+The paper evaluates on University of Florida / SNAP matrices; this offline
+reproduction generates structure-matched synthetic instances instead (see
+DESIGN.md §2 for the substitution argument).  Each generator reproduces the
+*class* of sparsity structure the sampling technique interacts with:
+
+* :mod:`repro.workloads.band` — FEM-style banded matrices (cant, consph,
+  pdb1HYS, pwtk, shipsec1, rma10, cop20k_A) and the 4-D QCD lattice;
+* :mod:`repro.workloads.mesh` — Delaunay-like planar triangulations;
+* :mod:`repro.workloads.road` — OSM-style road networks: sparse lattices
+  with long degree-2 chains and spatial vertex order;
+* :mod:`repro.workloads.rmat` — RMAT power-law graphs for the web crawls;
+* :mod:`repro.workloads.scalefree` — standalone power-law-row matrices;
+* :mod:`repro.workloads.suite` — the Table II registry mapping dataset
+  names to scaled generator invocations;
+* :mod:`repro.workloads.dataset` — the :class:`Dataset` wrapper giving both
+  the matrix view (spmm studies) and the graph view (CC study) of one
+  instance, exactly as the paper reuses Table II for all three studies.
+"""
+
+from repro.workloads.dataset import Dataset, dataset_from_matrix_market
+from repro.workloads.fingerprint import StructuralFingerprint, fingerprint
+from repro.workloads.band import banded_matrix, lattice_matrix
+from repro.workloads.mesh import planar_mesh_matrix
+from repro.workloads.road import road_network_matrix
+from repro.workloads.rmat import rmat_edges, rmat_matrix
+from repro.workloads.scalefree import scalefree_matrix
+from repro.workloads.suite import (
+    SUITE,
+    SuiteEntry,
+    load_dataset,
+    load_suite,
+    dataset_names,
+    scalefree_subset_names,
+    cc_subset_names,
+    spmm_subset_names,
+)
+
+__all__ = [
+    "Dataset",
+    "dataset_from_matrix_market",
+    "StructuralFingerprint",
+    "fingerprint",
+    "banded_matrix",
+    "lattice_matrix",
+    "planar_mesh_matrix",
+    "road_network_matrix",
+    "rmat_edges",
+    "rmat_matrix",
+    "scalefree_matrix",
+    "SUITE",
+    "SuiteEntry",
+    "load_dataset",
+    "load_suite",
+    "dataset_names",
+    "scalefree_subset_names",
+    "cc_subset_names",
+    "spmm_subset_names",
+]

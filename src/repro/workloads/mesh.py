@@ -1,0 +1,67 @@
+"""Delaunay-like planar meshes.
+
+``delaunay_n22`` is a Delaunay triangulation of random points: planar,
+average degree ~6, spatially local.  We reproduce those structural facts
+without computational geometry: a jittered triangular grid — every vertex
+connects to its east, south, and south-east neighbors (giving the
+triangulated-quad pattern, degree 6 in the interior), with a small fraction
+of edges rewired locally to break the perfect regularity.  Vertices are
+numbered row-major, i.e. spatially, as a Delaunay instance built from
+sorted points would be.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.construct import from_coo
+from repro.sparse.csr import CsrMatrix
+from repro.util.errors import WorkloadError
+from repro.util.rng import RngLike, as_generator
+
+_INDEX = np.int64
+
+
+def planar_mesh_matrix(n: int, rewire_fraction: float = 0.05, rng: RngLike = None) -> CsrMatrix:
+    """Symmetric adjacency matrix of a jittered triangular mesh with ~n vertices.
+
+    The actual vertex count is ``rows * cols`` for the nearest grid shape,
+    which may differ from *n* by a few percent.
+    """
+    if n < 4:
+        raise WorkloadError("mesh needs at least 4 vertices")
+    if not 0.0 <= rewire_fraction < 1.0:
+        raise WorkloadError("rewire_fraction must be in [0, 1)")
+    gen = as_generator(rng)
+    side = int(round(np.sqrt(n)))
+    rows_g, cols_g = side, max(2, n // side)
+    total = rows_g * cols_g
+    idx = np.arange(total, dtype=_INDEX).reshape(rows_g, cols_g)
+
+    east_u = idx[:, :-1].ravel()
+    east_v = idx[:, 1:].ravel()
+    south_u = idx[:-1, :].ravel()
+    south_v = idx[1:, :].ravel()
+    se_u = idx[:-1, :-1].ravel()
+    se_v = idx[1:, 1:].ravel()
+    u = np.concatenate([east_u, south_u, se_u])
+    v = np.concatenate([east_v, south_v, se_v])
+
+    # Local rewiring: replace a fraction of edges with short random hops,
+    # mimicking the irregular neighborhoods of a true Delaunay mesh.
+    m = u.size
+    k = int(rewire_fraction * m)
+    if k:
+        pick = gen.choice(m, size=k, replace=False)
+        jump = gen.integers(1, 2 * cols_g + 2, size=k)
+        v = v.copy()
+        v[pick] = np.clip(u[pick] + jump, 0, total - 1)
+        loops = u[pick] == v[pick]
+        if np.any(loops):
+            v[pick[loops]] = np.minimum(u[pick[loops]] + 1, total - 1)
+    keep = u != v
+    u, v = u[keep], v[keep]
+    all_u = np.concatenate([u, v])
+    all_v = np.concatenate([v, u])
+    vals = gen.uniform(0.1, 1.0, size=all_u.size)
+    return from_coo(all_u, all_v, vals, (total, total))

@@ -1,0 +1,6 @@
+"""Test package marker.
+
+Present so test modules can import shared helpers via
+``from tests.conftest import ...`` under both ``pytest`` and
+``python -m pytest`` invocations.
+"""

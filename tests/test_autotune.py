@@ -1,0 +1,72 @@
+"""Tests for repro.core.autotune — the one-call tuning façade."""
+
+import numpy as np
+import pytest
+
+from repro.core.autotune import autotune, select_search
+from repro.core.oracle import exhaustive_oracle
+from repro.core.search import (
+    CoarseToFineSearch,
+    ExhaustiveSearch,
+    GradientDescentSearch,
+    RaceCoarseSearch,
+)
+from repro.hetero.cc import CcProblem
+from repro.hetero.hh_cpu import HhCpuProblem
+from repro.hetero.spmm import SpmmProblem
+from repro.workloads.band import banded_matrix
+from repro.workloads.dataset import Dataset
+from tests.conftest import random_graph
+
+
+@pytest.fixture()
+def band(machine):
+    return banded_matrix(800, 12.0, rng=1)
+
+
+class TestSearchSelection:
+    def test_cc_gets_coarse_to_fine(self, machine):
+        p = CcProblem(random_graph(300, 500, seed=1), machine)
+        assert isinstance(select_search(p), CoarseToFineSearch)
+
+    def test_spmm_gets_race(self, machine, band):
+        p = SpmmProblem(band, machine)
+        assert isinstance(select_search(p), RaceCoarseSearch)
+
+    def test_hh_gets_gradient_descent(self, machine, band):
+        p = HhCpuProblem(band, machine)
+        assert isinstance(select_search(p), GradientDescentSearch)
+
+    def test_preferred_search_wins(self, machine, band):
+        p = SpmmProblem(band, machine)
+        p.preferred_search = lambda: ExhaustiveSearch()
+        assert isinstance(select_search(p), ExhaustiveSearch)
+
+
+class TestAutotune:
+    def test_tracks_oracle_on_each_study(self, machine, band):
+        ds = Dataset("band", "fem", band, 0, 1)
+        for problem in (
+            CcProblem(ds.as_graph(), machine),
+            SpmmProblem(band, machine),
+            HhCpuProblem(band, machine),
+        ):
+            oracle = exhaustive_oracle(problem)
+            tuned = autotune(problem, rng=2)
+            assert tuned.phase2_ms <= 1.5 * oracle.best_time_ms
+            grid = problem.threshold_grid()
+            assert grid[0] <= tuned.threshold <= grid[-1]
+
+    def test_overhead_reported(self, machine, band):
+        tuned = autotune(SpmmProblem(band, machine), rng=3)
+        assert 0.0 <= tuned.overhead_percent < 100.0
+        assert tuned.search_name == "RaceCoarseSearch"
+
+    def test_deterministic_given_seed(self, machine, band):
+        a = autotune(SpmmProblem(band, machine), rng=4)
+        b = autotune(SpmmProblem(band, machine), rng=4)
+        assert a.threshold == b.threshold
+
+    def test_sample_size_override(self, machine, band):
+        tuned = autotune(SpmmProblem(band, machine), rng=5, sample_size=50)
+        assert tuned.estimate.sample_size == 50

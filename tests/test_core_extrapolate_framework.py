@@ -1,0 +1,215 @@
+"""Tests for repro.core.extrapolate, framework, oracle and baselines."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    compare_with_baselines,
+    naive_average_threshold,
+)
+from repro.core.extrapolate import (
+    IdentityExtrapolator,
+    OfflineBestFitExtrapolator,
+    SaturationExtrapolator,
+    ScaleExtrapolator,
+    SquareLawExtrapolator,
+)
+from repro.core.framework import SamplingPartitioner
+from repro.core.oracle import exhaustive_oracle
+from repro.core.search import CoarseToFineSearch, ExhaustiveSearch
+from repro.util.errors import ValidationError
+from repro.util.rng import RngLike, as_generator
+
+
+class ToyProblem:
+    """A self-similar problem the partitioner can sample.
+
+    The landscape is quadratic around an optimum that every sample shares,
+    so the estimate should match the oracle exactly.
+    """
+
+    name = "toy"
+
+    def __init__(self, n: int = 10_000, optimum: float = 61.0) -> None:
+        self.n = n
+        self.optimum = optimum
+        self.sample_calls: list[int] = []
+
+    def evaluate_ms(self, t: float) -> float:
+        return 1.0 + (t - self.optimum) ** 2 / 500.0
+
+    def threshold_grid(self) -> np.ndarray:
+        return np.arange(0.0, 101.0)
+
+    def sample(self, size: int, rng: RngLike = None) -> "ToyProblem":
+        as_generator(rng)
+        self.sample_calls.append(size)
+        return ToyProblem(n=size, optimum=self.optimum)
+
+    def sampling_cost_ms(self, size: int) -> float:
+        return 0.01 * size
+
+    def default_sample_size(self) -> int:
+        return max(2, math.isqrt(self.n))
+
+    def naive_static_threshold(self) -> float:
+        return 88.0
+
+    def gpu_only_threshold(self) -> float:
+        return 100.0
+
+
+class TestExtrapolators:
+    def test_identity(self):
+        assert IdentityExtrapolator().extrapolate(42.0) == 42.0
+
+    def test_square(self):
+        assert SquareLawExtrapolator().extrapolate(7.0) == 49.0
+
+    def test_scale_fixed(self):
+        assert ScaleExtrapolator(4.0).extrapolate(5.0) == 20.0
+
+    def test_scale_from_context(self):
+        e = ScaleExtrapolator(None)
+        assert e.extrapolate(5.0, {"dimension_ratio": 3.0}) == 15.0
+
+    def test_scale_requires_context(self):
+        with pytest.raises(ValidationError):
+            ScaleExtrapolator(None).extrapolate(5.0, {})
+
+    def test_scale_rejects_nonpositive_factor(self):
+        with pytest.raises(ValidationError):
+            ScaleExtrapolator(0.0)
+
+    def test_saturation_inverts_occupancy(self):
+        # d balls in s bins occupy ~s(1 - e^{-d/s}); the extrapolator must
+        # invert that map.
+        s, d = 64.0, 100.0
+        folded = s * (1 - np.exp(-d / s))
+        out = SaturationExtrapolator().extrapolate(folded, {"sample_dimension": s})
+        assert out == pytest.approx(d, rel=1e-9)
+
+    def test_saturation_zero_and_clamp(self):
+        e = SaturationExtrapolator()
+        ctx = {"sample_dimension": 10.0}
+        assert e.extrapolate(0.0, ctx) == 0.0
+        assert np.isfinite(e.extrapolate(10.0, ctx))  # at saturation, clamped
+
+    def test_saturation_requires_context(self):
+        with pytest.raises(ValidationError):
+            SaturationExtrapolator().extrapolate(3.0, {})
+
+    def test_best_fit_selects_square(self):
+        e = OfflineBestFitExtrapolator()
+        training = [(t, t * t, {}) for t in (2.0, 3.0, 5.0)]
+        assert e.fit(training) == "square"
+        assert e.extrapolate(4.0) == 16.0
+
+    def test_best_fit_selects_identity(self):
+        e = OfflineBestFitExtrapolator()
+        assert e.fit([(t, t, {}) for t in (2.0, 9.0)]) == "identity"
+
+    def test_best_fit_selects_dimension_scale(self):
+        e = OfflineBestFitExtrapolator()
+        training = [(t, 8.0 * t, {"dimension_ratio": 8.0}) for t in (1.0, 4.0)]
+        assert e.fit(training) == "dimension-scale"
+
+    def test_best_fit_unfitted_is_identity(self):
+        assert OfflineBestFitExtrapolator().extrapolate(5.0) == 5.0
+
+    def test_best_fit_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            OfflineBestFitExtrapolator().fit([])
+
+
+class TestSamplingPartitioner:
+    def test_recovers_optimum_on_self_similar_problem(self):
+        problem = ToyProblem()
+        est = SamplingPartitioner(CoarseToFineSearch(), rng=0).estimate(problem)
+        assert abs(est.threshold - problem.optimum) <= 1.0
+
+    def test_uses_default_sample_size(self):
+        problem = ToyProblem(n=10_000)
+        SamplingPartitioner(CoarseToFineSearch(), rng=0).estimate(problem)
+        assert problem.sample_calls == [100]
+
+    def test_sample_size_override(self):
+        problem = ToyProblem()
+        SamplingPartitioner(CoarseToFineSearch(), sample_size=17, rng=0).estimate(problem)
+        assert problem.sample_calls == [17]
+
+    def test_repeats_aggregate(self):
+        problem = ToyProblem()
+        est = SamplingPartitioner(CoarseToFineSearch(), repeats=3, rng=0).estimate(problem)
+        assert len(est.searches) == 3
+        assert len(problem.sample_calls) == 3
+
+    def test_estimation_cost_includes_sampling(self):
+        problem = ToyProblem()
+        est = SamplingPartitioner(CoarseToFineSearch(), rng=0).estimate(problem)
+        assert est.estimation_cost_ms >= problem.sampling_cost_ms(100)
+
+    def test_overhead_percent(self):
+        problem = ToyProblem()
+        est = SamplingPartitioner(CoarseToFineSearch(), rng=0).estimate(problem)
+        ovh = est.overhead_percent(phase2_ms=est.estimation_cost_ms)
+        assert ovh == pytest.approx(50.0)
+        with pytest.raises(ValidationError):
+            est.overhead_percent(phase2_ms=-est.estimation_cost_ms)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValidationError):
+            SamplingPartitioner(CoarseToFineSearch(), repeats=0)
+        with pytest.raises(ValidationError):
+            SamplingPartitioner(CoarseToFineSearch(), sample_size=0)
+
+
+class TestOracle:
+    def test_oracle_exact(self):
+        problem = ToyProblem(optimum=33.0)
+        oracle = exhaustive_oracle(problem)
+        assert oracle.threshold == 33.0
+        assert oracle.n_evaluations == 101
+        assert oracle.search_cost_multiple > 50  # sweeping costs many runs
+
+    def test_oracle_cost_consistency(self):
+        oracle = exhaustive_oracle(ToyProblem())
+        assert oracle.search_cost_ms == pytest.approx(
+            sum(ms for _, ms in oracle.evaluations)
+        )
+
+
+class TestBaselines:
+    def test_naive_average(self):
+        assert naive_average_threshold([80.0, 90.0, 100.0]) == 90.0
+        with pytest.raises(ValidationError):
+            naive_average_threshold([])
+
+    def test_compare_with_baselines_fields(self):
+        problem = ToyProblem(optimum=61.0)
+        comp = compare_with_baselines(
+            problem,
+            SamplingPartitioner(CoarseToFineSearch(), rng=0),
+            naive_average=70.0,
+        )
+        assert comp.name == "toy"
+        assert comp.threshold_difference <= 1.0
+        assert comp.time_difference_percent < 1.0
+        assert comp.naive_average_time_ms == pytest.approx(
+            problem.evaluate_ms(70.0)
+        )
+        assert comp.gpu_only_time_ms == pytest.approx(problem.evaluate_ms(100.0))
+        assert comp.speedup_over_gpu_only > 1.0
+        assert 0.0 <= comp.overhead_percent < 100.0
+
+    def test_compare_accepts_precomputed_oracle(self):
+        problem = ToyProblem()
+        oracle = exhaustive_oracle(problem)
+        comp = compare_with_baselines(
+            problem, SamplingPartitioner(ExhaustiveSearch(), rng=0), oracle=oracle
+        )
+        assert comp.oracle is oracle

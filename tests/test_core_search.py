@@ -1,0 +1,176 @@
+"""Tests for repro.core.search — identify strategies.
+
+Strategies are exercised on synthetic problems with known landscapes so
+exact minima are checkable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.search import (
+    CoarseToFineSearch,
+    ExhaustiveSearch,
+    GradientDescentSearch,
+    RaceCoarseSearch,
+    SearchResult,
+)
+from repro.util.errors import SearchError
+
+
+class QuadraticProblem:
+    """V-shaped landscape with minimum at *optimum*."""
+
+    name = "quadratic"
+
+    def __init__(self, optimum: float = 37.0, grid=None):
+        self.optimum = optimum
+        self.grid = np.arange(0.0, 101.0) if grid is None else np.asarray(grid, float)
+        self.calls = 0
+
+    def evaluate_ms(self, t: float) -> float:
+        self.calls += 1
+        return 1.0 + (t - self.optimum) ** 2 / 100.0
+
+    def threshold_grid(self):
+        return self.grid
+
+
+class BimodalProblem(QuadraticProblem):
+    """Two valleys; the global one at 80, a local trap at 15."""
+
+    name = "bimodal"
+
+    def evaluate_ms(self, t: float) -> float:
+        self.calls += 1
+        local = 2.0 + (t - 15.0) ** 2 / 50.0
+        global_ = 1.0 + (t - 80.0) ** 2 / 50.0
+        return min(local, global_)
+
+
+class RacyProblem(QuadraticProblem):
+    """Quadratic plus a race probe reporting near the optimum."""
+
+    def race_probe(self):
+        return self.optimum + 2.0, 0.5
+
+
+class TestExhaustive:
+    def test_finds_exact_minimum(self):
+        p = QuadraticProblem(optimum=42.0)
+        res = ExhaustiveSearch().minimize(p)
+        assert res.threshold == 42.0
+        assert res.n_evaluations == 101
+
+    def test_cost_is_sum_of_evaluations(self):
+        p = QuadraticProblem()
+        res = ExhaustiveSearch().minimize(p)
+        assert res.cost_ms == pytest.approx(sum(ms for _, ms in res.evaluations))
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(SearchError):
+            ExhaustiveSearch().minimize(QuadraticProblem(grid=[]))
+
+
+class TestCoarseToFine:
+    def test_finds_minimum_on_unimodal(self):
+        for opt in (0.0, 7.0, 37.0, 50.0, 93.0, 100.0):
+            p = QuadraticProblem(optimum=opt)
+            res = CoarseToFineSearch().minimize(p)
+            assert abs(res.threshold - opt) <= 1.0, opt
+
+    def test_uses_fewer_probes_than_exhaustive(self):
+        p = QuadraticProblem()
+        res = CoarseToFineSearch().minimize(p)
+        assert res.n_evaluations < 40
+
+    def test_coarse_stride_respected(self):
+        p = QuadraticProblem(optimum=50.0)
+        CoarseToFineSearch(coarse_step=8).minimize(p)
+        coarse_points = {t for t, _ in
+                         CoarseToFineSearch(coarse_step=8).minimize(QuadraticProblem(50.0)).evaluations[:13]}
+        assert {0.0, 8.0, 16.0} <= coarse_points
+
+    def test_no_duplicate_probes(self):
+        p = QuadraticProblem(optimum=24.0)
+        res = CoarseToFineSearch().minimize(p)
+        ts = [t for t, _ in res.evaluations]
+        assert len(ts) == len(set(ts))
+
+    def test_rejects_bad_steps(self):
+        with pytest.raises(SearchError):
+            CoarseToFineSearch(coarse_step=0)
+        with pytest.raises(SearchError):
+            CoarseToFineSearch(coarse_step=4, fine_step=8)
+
+
+class TestRaceCoarse:
+    def test_uses_probe_then_refines(self):
+        p = RacyProblem(optimum=37.0)
+        res = RaceCoarseSearch().minimize(p)
+        assert abs(res.threshold - 37.0) <= 2.0
+        assert res.extra_cost_ms == pytest.approx(0.5)
+        assert res.cost_ms >= 0.5
+
+    def test_falls_back_to_grid_without_probe(self):
+        p = QuadraticProblem(optimum=64.0)
+        res = RaceCoarseSearch().minimize(p)
+        assert abs(res.threshold - 64.0) <= 8.0
+
+    def test_probe_off_grid_clamped(self):
+        class OffGrid(RacyProblem):
+            def race_probe(self):
+                return 500.0, 0.1
+
+        res = RaceCoarseSearch().minimize(OffGrid(optimum=90.0))
+        assert 0.0 <= res.threshold <= 100.0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(SearchError):
+            RaceCoarseSearch(fine_radius=-1)
+        with pytest.raises(SearchError):
+            RaceCoarseSearch(fine_step=0)
+
+
+class TestGradientDescent:
+    def test_unimodal_convergence(self):
+        for opt in (5.0, 37.0, 80.0):
+            res = GradientDescentSearch().minimize(QuadraticProblem(optimum=opt))
+            assert abs(res.threshold - opt) <= 1.0, opt
+
+    def test_multistart_escapes_local_minimum(self):
+        res = GradientDescentSearch(n_starts=3).minimize(BimodalProblem())
+        assert abs(res.threshold - 80.0) <= 2.0
+
+    def test_single_start_from_given_point(self):
+        res = GradientDescentSearch(start=10.0, n_starts=1).minimize(
+            BimodalProblem()
+        )
+        # Started inside the local basin; descent stays there.
+        assert abs(res.threshold - 15.0) <= 2.0
+
+    def test_respects_evaluation_budget(self):
+        p = QuadraticProblem()
+        res = GradientDescentSearch(max_evaluations=10).minimize(p)
+        assert res.n_evaluations <= 10
+
+    def test_snaps_to_nonuniform_grid(self):
+        grid = np.array([0.0, 3.0, 9.0, 27.0, 81.0])
+        p = QuadraticProblem(optimum=27.0, grid=grid)
+        res = GradientDescentSearch().minimize(p)
+        assert res.threshold in grid
+        assert res.threshold == 27.0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(SearchError):
+            GradientDescentSearch(max_evaluations=2)
+        with pytest.raises(SearchError):
+            GradientDescentSearch(n_starts=0)
+
+
+class TestSearchResult:
+    def test_record_fields(self):
+        res = SearchResult(1.0, 2.0, ((1.0, 2.0),), 2.0)
+        assert res.n_evaluations == 1
+        assert res.extra_cost_ms == 0.0

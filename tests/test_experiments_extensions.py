@@ -1,0 +1,76 @@
+"""Tests for the ablation/extension experiments and the CSV export."""
+
+import csv
+
+import pytest
+
+from repro.experiments import (
+    REGISTRY,
+    ExperimentConfig,
+    ablation_cc_sampling,
+    ablation_hh_sampling,
+    ext_multiway,
+)
+
+SMALL = ExperimentConfig(scale=1 / 64, seed=5)
+
+
+class TestAblationCc:
+    def test_literal_pricing_degenerates(self):
+        cfg = ExperimentConfig(
+            scale=1 / 64, seed=5, datasets=("germany_osm", "delaunay_n22")
+        )
+        report = ablation_cc_sampling.run(cfg)
+        # The methodology claim: literal pricing is far worse than the
+        # scaled default on locality-friendly inputs.
+        assert report.metrics["avg_literal_slowdown"] > report.metrics[
+            "avg_uniform_slowdown"
+        ]
+
+    def test_importance_not_worse_than_uniform(self):
+        cfg = ExperimentConfig(scale=1 / 64, seed=5, datasets=("cant", "germany_osm"))
+        report = ablation_cc_sampling.run(cfg)
+        assert (
+            report.metrics["avg_importance_slowdown"]
+            <= report.metrics["avg_uniform_slowdown"] + 5.0
+        )
+
+
+class TestAblationHh:
+    def test_axis_destroying_samplers_lose(self):
+        cfg = ExperimentConfig(scale=1 / 64, seed=5, datasets=("cant", "pwtk"))
+        report = ablation_hh_sampling.run(cfg)
+        m = report.metrics
+        # Folding/thinning destroy the density axis on banded matrices.
+        assert m["avg_fold_slowdown"] > m["avg_rows_slowdown"]
+        assert m["avg_thin_slowdown"] > m["avg_rows_slowdown"]
+
+
+class TestExtMultiway:
+    def test_two_gpus_speed_up_local_graphs(self):
+        cfg = ExperimentConfig(
+            scale=1 / 64, seed=5, datasets=("germany_osm", "pwtk")
+        )
+        report = ext_multiway.run(cfg)
+        assert report.metrics["avg_speedup_vs_single_gpu"] > 1.3
+        assert report.metrics["avg_slowdown"] < 20.0
+
+
+class TestRegistryAndCsv:
+    def test_new_experiments_registered(self):
+        for key in ("ablation-cc-sampling", "ablation-hh-sampling", "ext-multiway"):
+            assert key in REGISTRY
+
+    def test_csv_export_round_trips(self, tmp_path):
+        cfg = ExperimentConfig(scale=1 / 64, seed=5, datasets=("cant",))
+        report = ablation_cc_sampling.run(cfg)
+        paths = report.to_csv(tmp_path)
+        assert len(paths) == 2  # table + metrics
+        with paths[0].open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0][0] == "dataset"
+        assert rows[1][0] == "cant"
+        with paths[-1].open() as fh:
+            metric_rows = list(csv.reader(fh))
+        assert metric_rows[0] == ["metric", "value"]
+        assert len(metric_rows) - 1 == len(report.metrics)

@@ -1,0 +1,152 @@
+"""Tests for repro.graphs.components and shiloach_vishkin.
+
+Component labels are canonical (minimum vertex id), so all algorithms must
+agree exactly, and NetworkX provides an external reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs.components import (
+    UnionFind,
+    components_bfs,
+    components_dfs,
+    components_union_find,
+    count_components,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.shiloach_vishkin import (
+    modeled_sv_iterations,
+    shiloach_vishkin,
+    sv_on_edges,
+)
+from repro.util.errors import ValidationError
+from tests.conftest import random_graph
+
+ALGORITHMS = [components_dfs, components_bfs, components_union_find]
+
+
+def ring(n: int) -> Graph:
+    u = np.arange(n)
+    return Graph(n, u, (u + 1) % n)
+
+
+class TestSequentialAlgorithms:
+    @pytest.mark.parametrize("algo", ALGORITHMS)
+    def test_single_component_ring(self, algo):
+        labels = algo(ring(20))
+        assert count_components(labels) == 1
+        assert np.all(labels == 0)
+
+    @pytest.mark.parametrize("algo", ALGORITHMS)
+    def test_isolated_vertices(self, algo):
+        g = Graph(5, np.array([0]), np.array([1]))
+        labels = algo(g)
+        assert count_components(labels) == 4
+        assert labels[0] == labels[1] == 0
+
+    @pytest.mark.parametrize("algo", ALGORITHMS)
+    def test_labels_are_component_minima(self, algo):
+        g = random_graph(80, 100, seed=1)
+        labels = algo(g)
+        for comp in np.unique(labels):
+            members = np.flatnonzero(labels == comp)
+            assert comp == members.min()
+
+    def test_all_sequential_algorithms_agree(self):
+        for seed in range(5):
+            g = random_graph(120, 150, seed=seed)
+            results = [algo(g) for algo in ALGORITHMS]
+            for r in results[1:]:
+                assert np.array_equal(results[0], r)
+
+    def test_empty_graph(self):
+        g = Graph(0, np.array([], dtype=int), np.array([], dtype=int))
+        for algo in ALGORITHMS:
+            assert algo(g).size == 0
+        assert count_components(np.array([], dtype=int)) == 0
+
+    def test_matches_networkx(self):
+        nx = pytest.importorskip("networkx")
+        g = random_graph(150, 200, seed=2)
+        ref = nx.Graph()
+        ref.add_nodes_from(range(150))
+        ref.add_edges_from(zip(g.edge_u.tolist(), g.edge_v.tolist()))
+        assert count_components(components_dfs(g)) == nx.number_connected_components(ref)
+
+
+class TestUnionFind:
+    def test_union_reduces_set_count(self):
+        uf = UnionFind(4)
+        assert uf.n_sets == 4
+        assert uf.union(0, 1)
+        assert uf.n_sets == 3
+        assert not uf.union(1, 0)  # already merged
+        assert uf.n_sets == 3
+
+    def test_find_transitivity(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.find(0) == uf.find(2)
+
+    def test_labels_canonical(self):
+        uf = UnionFind(4)
+        uf.union(3, 2)
+        labels = uf.labels()
+        assert labels[2] == labels[3] == 2
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValidationError):
+            UnionFind(-1)
+
+
+class TestShiloachVishkin:
+    def test_matches_sequential(self):
+        for seed in range(6):
+            g = random_graph(200, 260, seed=seed)
+            assert np.array_equal(shiloach_vishkin(g).labels, components_dfs(g))
+
+    def test_iteration_counts_positive(self):
+        res = shiloach_vishkin(ring(64))
+        assert res.hook_iterations >= 1
+        assert res.jump_iterations >= 1
+        assert res.kernel_launches == res.hook_iterations + res.jump_iterations
+
+    def test_logarithmic_convergence_on_path(self):
+        # A path is SV's hard case; rounds must stay well under n.
+        n = 512
+        u = np.arange(n - 1)
+        g = Graph(n, u, u + 1)
+        res = shiloach_vishkin(g)
+        assert count_components(res.labels) == 1
+        assert res.hook_iterations <= 2 * modeled_sv_iterations(n)
+
+    def test_empty_graph(self):
+        g = Graph(0, np.array([], dtype=int), np.array([], dtype=int))
+        assert shiloach_vishkin(g).labels.size == 0
+
+    def test_edgeless_graph_one_round(self):
+        g = Graph(10, np.array([], dtype=int), np.array([], dtype=int))
+        res = shiloach_vishkin(g)
+        assert count_components(res.labels) == 10
+        assert res.hook_iterations == 1
+
+    def test_sv_on_edges_matches_graph_variant(self):
+        g = random_graph(100, 130, seed=9)
+        a = shiloach_vishkin(g).labels
+        b = sv_on_edges(g.n, g.edge_u, g.edge_v).labels
+        assert np.array_equal(a, b)
+
+    def test_sv_on_edges_validates(self):
+        with pytest.raises(ValidationError):
+            sv_on_edges(3, np.array([0]), np.array([5]))
+        with pytest.raises(ValidationError):
+            sv_on_edges(3, np.array([0, 1]), np.array([1]))
+
+    def test_modeled_iterations(self):
+        assert modeled_sv_iterations(1) == 1
+        assert modeled_sv_iterations(2) == 2
+        assert modeled_sv_iterations(1024) == 11
+        with pytest.raises(ValidationError):
+            modeled_sv_iterations(-1)

@@ -1,0 +1,127 @@
+"""Tests for repro.graphs.graph — the CSR graph container."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph, from_edge_list
+from repro.util.errors import ValidationError
+
+
+def path_graph(n: int) -> Graph:
+    u = np.arange(n - 1)
+    return Graph(n, u, u + 1)
+
+
+class TestConstruction:
+    def test_deduplicates_both_orientations(self):
+        g = Graph(3, np.array([0, 1, 1]), np.array([1, 0, 2]))
+        assert g.m == 2  # (0,1) stored once
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(ValidationError):
+            Graph(3, np.array([1]), np.array([1]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            Graph(3, np.array([0]), np.array([5]))
+        with pytest.raises(ValidationError):
+            Graph(3, np.array([-1]), np.array([0]))
+
+    def test_rejects_ragged_arrays(self):
+        with pytest.raises(ValidationError):
+            Graph(3, np.array([0, 1]), np.array([1]))
+
+    def test_empty_graph(self):
+        g = Graph(5, np.array([], dtype=int), np.array([], dtype=int))
+        assert g.m == 0 and g.n == 5
+        assert np.all(g.degrees() == 0)
+
+    def test_adjacency_stores_both_directions(self):
+        g = path_graph(4)
+        assert g.adjacency.size == 2 * g.m
+        assert np.array_equal(np.sort(g.neighbors(1)), [0, 2])
+
+    def test_from_edge_list(self):
+        g = from_edge_list(4, np.array([[0, 1], [2, 3]]))
+        assert g.m == 2
+
+    def test_from_edge_list_rejects_bad_shape(self):
+        with pytest.raises(ValidationError):
+            from_edge_list(4, np.array([[0, 1, 2]]))
+
+    def test_from_edge_list_empty(self):
+        g = from_edge_list(4, np.empty((0, 2)))
+        assert g.m == 0
+
+
+class TestQueries:
+    def test_degrees_sum_to_twice_edges(self):
+        gen = np.random.default_rng(1)
+        u = gen.integers(0, 100, 300)
+        v = gen.integers(0, 100, 300)
+        keep = u != v
+        g = Graph(100, u[keep], v[keep])
+        assert g.degrees().sum() == 2 * g.m
+
+    def test_neighbors_bounds_checked(self):
+        with pytest.raises(ValidationError):
+            path_graph(3).neighbors(3)
+
+    def test_memory_bytes(self):
+        assert path_graph(10).memory_bytes() > 0
+
+    def test_matches_networkx_degrees(self):
+        nx = pytest.importorskip("networkx")
+        gen = np.random.default_rng(2)
+        edges = gen.integers(0, 60, size=(150, 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        g = Graph(60, edges[:, 0], edges[:, 1])
+        ref = nx.Graph()
+        ref.add_nodes_from(range(60))
+        ref.add_edges_from(map(tuple, edges))
+        assert g.m == ref.number_of_edges()
+        ref_deg = np.array([ref.degree[i] for i in range(60)])
+        assert np.array_equal(g.degrees(), ref_deg)
+
+
+class TestSubgraph:
+    def test_induced_edges(self):
+        g = path_graph(6)
+        sub = g.subgraph(np.array([0, 1, 2, 5]))
+        # Edges (0,1), (1,2) survive; 5 is isolated in the sample.
+        assert sub.n == 4 and sub.m == 2
+        assert sub.degrees()[3] == 0
+
+    def test_relabeling_preserves_order(self):
+        g = path_graph(10)
+        sub = g.subgraph(np.array([3, 4, 7]))
+        assert sub.m == 1  # only (3,4)
+        assert np.array_equal(np.sort(sub.neighbors(0)), [1])
+
+    def test_empty_selection(self):
+        assert path_graph(5).subgraph(np.array([], dtype=int)).n == 0
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValidationError):
+            path_graph(5).subgraph(np.array([3, 1]))
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValidationError):
+            path_graph(5).subgraph(np.array([1, 1]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            path_graph(5).subgraph(np.array([0, 9]))
+
+    def test_matches_networkx_subgraph(self):
+        nx = pytest.importorskip("networkx")
+        gen = np.random.default_rng(3)
+        edges = gen.integers(0, 50, size=(120, 2))
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        g = Graph(50, edges[:, 0], edges[:, 1])
+        sel = np.sort(gen.choice(50, size=20, replace=False))
+        ours = g.subgraph(sel)
+        ref = nx.Graph()
+        ref.add_nodes_from(range(50))
+        ref.add_edges_from(map(tuple, edges))
+        assert ours.m == ref.subgraph(sel.tolist()).number_of_edges()

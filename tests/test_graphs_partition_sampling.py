@@ -1,0 +1,130 @@
+"""Tests for repro.graphs.partition and repro.graphs.sampling."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+from repro.graphs.partition import CutProfile, split_by_vertex
+from repro.graphs.sampling import edge_preserving_sample, induced_subgraph_sample
+from repro.util.errors import ValidationError
+from tests.conftest import random_graph
+
+
+class TestSplitByVertex:
+    def test_edge_conservation(self):
+        g = random_graph(100, 160, seed=1)
+        for k in (0, 1, 37, 50, 99, 100):
+            p = split_by_vertex(g, k)
+            assert p.cpu_graph.m + p.gpu_graph.m + p.n_cross == g.m
+
+    def test_vertex_counts(self):
+        g = random_graph(50, 80, seed=2)
+        p = split_by_vertex(g, 20)
+        assert p.cpu_graph.n == 20
+        assert p.gpu_graph.n == 30
+
+    def test_cross_edges_span_the_cut(self):
+        g = random_graph(60, 100, seed=3)
+        p = split_by_vertex(g, 25)
+        assert np.all(p.cross_u < 25)
+        assert np.all(p.cross_v >= 25)
+
+    def test_gpu_subgraph_relabeled(self):
+        g = random_graph(40, 60, seed=4)
+        p = split_by_vertex(g, 15)
+        if p.gpu_graph.m:
+            assert p.gpu_graph.edge_v.max() < 25
+
+    def test_boundary_cuts(self):
+        g = random_graph(30, 50, seed=5)
+        assert split_by_vertex(g, 0).cpu_graph.n == 0
+        assert split_by_vertex(g, 30).gpu_graph.n == 0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            split_by_vertex(random_graph(10, 15, seed=6), 11)
+
+
+class TestCutProfile:
+    def test_matches_materialized_partition(self):
+        g = random_graph(120, 200, seed=7)
+        profile = CutProfile(g)
+        for k in (0, 1, 13, 60, 119, 120):
+            p = split_by_vertex(g, k)
+            assert profile.m_cpu(k) == p.cpu_graph.m
+            assert profile.m_gpu(k) == p.gpu_graph.m
+            assert profile.m_cross(k) == p.n_cross
+
+    def test_degree_sums(self):
+        g = random_graph(80, 120, seed=8)
+        profile = CutProfile(g)
+        degs = g.degrees()
+        for k in (0, 10, 40, 80):
+            assert profile.cpu_degree_sum(k) == degs[:k].sum()
+            assert profile.gpu_degree_sum(k) == degs[k:].sum()
+
+    def test_chunk_degree_sums_partition_the_prefix(self):
+        g = random_graph(100, 150, seed=9)
+        profile = CutProfile(g)
+        chunks = profile.cpu_chunk_degree_sums(60, 7)
+        assert chunks.sum() == pytest.approx(profile.cpu_degree_sum(60))
+
+    def test_max_degree_below(self):
+        g = random_graph(70, 110, seed=10)
+        profile = CutProfile(g)
+        degs = g.degrees()
+        for k in (1, 20, 70):
+            assert profile.max_degree_below(k) == degs[:k].max()
+        assert profile.max_degree_below(0) == 0
+
+    def test_monotonicity(self):
+        g = random_graph(90, 140, seed=11)
+        profile = CutProfile(g)
+        cpus = [profile.m_cpu(k) for k in range(91)]
+        gpus = [profile.m_gpu(k) for k in range(91)]
+        assert all(a <= b for a, b in zip(cpus, cpus[1:]))
+        assert all(a >= b for a, b in zip(gpus, gpus[1:]))
+
+    def test_bounds_checked(self):
+        profile = CutProfile(random_graph(10, 15, seed=12))
+        with pytest.raises(ValidationError):
+            profile.m_cpu(11)
+        with pytest.raises(ValidationError):
+            profile.cpu_chunk_degree_sums(5, 0)
+
+
+class TestGraphSampling:
+    def test_induced_sample_size(self):
+        g = random_graph(200, 300, seed=13)
+        s = induced_subgraph_sample(g, 40, rng=0)
+        assert s.n == 40
+
+    def test_induced_sample_is_subgraph(self):
+        # Every sampled edge must exist in the parent (checked via counts on
+        # a complete graph where all pairs exist).
+        n = 20
+        pairs = np.array([(i, j) for i in range(n) for j in range(i + 1, n)])
+        g = Graph(n, pairs[:, 0], pairs[:, 1])
+        s = induced_subgraph_sample(g, 8, rng=1)
+        assert s.m == 8 * 7 // 2  # induced subgraph of a clique is a clique
+
+    def test_induced_sample_reproducible(self):
+        g = random_graph(100, 150, seed=14)
+        a = induced_subgraph_sample(g, 30, rng=5)
+        b = induced_subgraph_sample(g, 30, rng=5)
+        assert np.array_equal(a.edge_u, b.edge_u) and np.array_equal(a.edge_v, b.edge_v)
+
+    def test_induced_rejects_oversample(self):
+        with pytest.raises(ValidationError):
+            induced_subgraph_sample(random_graph(10, 15, seed=15), 11)
+
+    def test_edge_preserving_keeps_ratio(self):
+        g = random_graph(2000, 6000, seed=16)
+        s = edge_preserving_sample(g, 200, rng=2)
+        parent_ratio = g.m / g.n
+        # The contraction drops some edges to loops/duplicates; the ratio
+        # should stay within a factor ~2, vs ~(s/n) for induced sampling.
+        assert s.m / s.n > 0.3 * parent_ratio
+
+    def test_edge_preserving_zero(self):
+        assert edge_preserving_sample(random_graph(10, 15, seed=17), 0).n == 0

@@ -1,0 +1,113 @@
+"""Cross-module integration tests: the full pipelines the paper runs.
+
+Each test exercises a complete path — dataset generation -> problem
+construction -> oracle + sampling estimate -> real execution + numeric
+verification — at a reduced scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CcProblem,
+    CoarseToFineSearch,
+    GradientDescentSearch,
+    HhCpuProblem,
+    RaceCoarseSearch,
+    SamplingPartitioner,
+    SpmmProblem,
+    exhaustive_oracle,
+    load_dataset,
+    paper_testbed,
+)
+from repro.graphs.components import components_union_find, count_components
+from repro.sparse.spgemm import spgemm
+
+SCALE = 1 / 64
+MACHINE = paper_testbed(time_scale=SCALE)
+
+
+class TestCcPipeline:
+    @pytest.mark.parametrize("name", ["cant", "netherlands_osm", "webbase-1M"])
+    def test_full_pipeline(self, name):
+        dataset = load_dataset(name, scale=SCALE)
+        graph = dataset.as_graph()
+        problem = CcProblem(graph, MACHINE, name=name)
+
+        oracle = exhaustive_oracle(problem)
+        estimate = SamplingPartitioner(CoarseToFineSearch(), rng=5).estimate(problem)
+        est_time = problem.evaluate_ms(estimate.threshold)
+
+        # The estimate is sane and not catastrophically slow.
+        assert 0.0 <= estimate.threshold <= 100.0
+        assert est_time <= 2.5 * oracle.best_time_ms
+
+        # The hybrid execution is correct at the estimated threshold.
+        result = problem.run(estimate.threshold)
+        reference = count_components(components_union_find(graph))
+        assert result.n_components == reference
+
+    def test_oracle_cost_dwarfs_estimation(self):
+        dataset = load_dataset("pwtk", scale=SCALE)
+        problem = CcProblem(dataset.as_graph(), MACHINE)
+        oracle = exhaustive_oracle(problem)
+        estimate = SamplingPartitioner(CoarseToFineSearch(), rng=6).estimate(problem)
+        # The paper's core economic argument.
+        assert oracle.search_cost_ms > 20 * estimate.estimation_cost_ms
+
+
+class TestSpmmPipeline:
+    @pytest.mark.parametrize("name", ["cant", "webbase-1M"])
+    def test_full_pipeline(self, name):
+        dataset = load_dataset(name, scale=SCALE)
+        problem = SpmmProblem(dataset.matrix, MACHINE, name=name)
+
+        oracle = exhaustive_oracle(problem)
+        estimate = SamplingPartitioner(RaceCoarseSearch(), rng=7).estimate(problem)
+        est_time = problem.evaluate_ms(estimate.threshold)
+        assert est_time <= 2.0 * oracle.best_time_ms
+
+        result = problem.run(estimate.threshold)
+        assert result.product.allclose(spgemm(dataset.matrix, dataset.matrix))
+
+
+class TestHhPipeline:
+    @pytest.mark.parametrize("name", ["cant", "cop20k_A"])
+    def test_full_pipeline(self, name):
+        dataset = load_dataset(name, scale=SCALE)
+        problem = HhCpuProblem(dataset.matrix, MACHINE, name=name)
+
+        oracle = exhaustive_oracle(problem)
+        estimate = SamplingPartitioner(GradientDescentSearch(), rng=8).estimate(problem)
+        threshold = min(max(estimate.threshold, 0.0), problem.gpu_only_threshold())
+        est_time = problem.evaluate_ms(threshold)
+        assert est_time <= 2.0 * oracle.best_time_ms
+        # Overhead is tiny for the row sampler (the paper's ~1% claim).
+        assert estimate.overhead_percent(est_time) < 10.0
+
+        result = problem.run(threshold)
+        reference = spgemm(dataset.matrix, dataset.matrix)
+        assert np.allclose(
+            np.sort(result.product.data), np.sort(reference.data), atol=1e-9
+        ) or result.product.allclose(reference)
+
+
+class TestCrossStudyConsistency:
+    def test_same_dataset_serves_all_three_studies(self):
+        dataset = load_dataset("cant", scale=SCALE)
+        machine = MACHINE
+        cc = CcProblem(dataset.as_graph(), machine)
+        spmm = SpmmProblem(dataset.matrix, machine)
+        hh = HhCpuProblem(dataset.matrix, machine)
+        # All three price thresholds on the same simulated clock.
+        assert cc.evaluate_ms(89.0) > 0
+        assert spmm.evaluate_ms(31.0) > 0
+        assert hh.evaluate_ms(60.0) > 0
+
+    def test_estimates_deterministic_given_seed(self):
+        dataset = load_dataset("rma10", scale=SCALE)
+        problem = SpmmProblem(dataset.matrix, MACHINE)
+        e1 = SamplingPartitioner(RaceCoarseSearch(), rng=99).estimate(problem)
+        e2 = SamplingPartitioner(RaceCoarseSearch(), rng=99).estimate(problem)
+        assert e1.threshold == e2.threshold
+        assert e1.estimation_cost_ms == pytest.approx(e2.estimation_cost_ms)

@@ -1,0 +1,171 @@
+"""Tests for repro.platform.costmodel — the kernel cost models."""
+
+import numpy as np
+import pytest
+
+from repro.platform.costmodel import (
+    PROFILE_CC,
+    PROFILE_DENSE_MM,
+    PROFILE_SPGEMM,
+    KernelProfile,
+    cpu_chunked_time,
+    cpu_sequential_time,
+    cpu_time_from_chunk_sums,
+    dense_mm_time,
+    effective_rate_per_ms,
+    gpu_iterative_time,
+    gpu_row_per_warp_time,
+    gpu_warp_time,
+)
+from repro.platform.device import cpu_xeon_e5_2650_dual, gpu_tesla_k40c
+from repro.util.errors import ValidationError
+
+CPU = cpu_xeon_e5_2650_dual()
+GPU = gpu_tesla_k40c()
+
+
+class TestKernelProfile:
+    def test_efficiency_dispatch(self):
+        p = KernelProfile("k", cpu_efficiency=0.5, gpu_efficiency=0.25)
+        assert p.efficiency_on(CPU) == 0.5
+        assert p.efficiency_on(GPU) == 0.25
+
+    @pytest.mark.parametrize("kw", [
+        dict(cpu_efficiency=0.0, gpu_efficiency=0.5),
+        dict(cpu_efficiency=0.5, gpu_efficiency=1.5),
+        dict(cpu_efficiency=0.5, gpu_efficiency=0.5, bound="disk"),
+        dict(cpu_efficiency=0.5, gpu_efficiency=0.5, bytes_per_unit=0),
+    ])
+    def test_rejects_bad_profiles(self, kw):
+        with pytest.raises(ValidationError):
+            KernelProfile("k", **kw)
+
+    def test_memory_bound_rate_uses_bandwidth(self):
+        p = KernelProfile("k", 1.0, 1.0, bound="memory", bytes_per_unit=16.0)
+        expected = CPU.mem_bandwidth_gbs * 1e6 / 16.0
+        assert effective_rate_per_ms(CPU, p) == pytest.approx(expected)
+
+    def test_compute_bound_rate_uses_flops(self):
+        p = KernelProfile("k", 1.0, 1.0, bound="compute")
+        assert effective_rate_per_ms(GPU, p) == pytest.approx(GPU.peak_gflops * 1e6)
+
+
+class TestCpuChunkedTime:
+    def test_empty_work_is_free(self):
+        assert cpu_chunked_time([], CPU, PROFILE_SPGEMM) == 0.0
+
+    def test_uniform_work_scales_linearly(self):
+        t1 = cpu_chunked_time(np.full(400, 10.0), CPU, PROFILE_SPGEMM)
+        t2 = cpu_chunked_time(np.full(800, 10.0), CPU, PROFILE_SPGEMM)
+        launch = CPU.kernel_launch_us * 1e-3
+        assert (t2 - launch) == pytest.approx(2 * (t1 - launch), rel=1e-6)
+
+    def test_imbalance_costs_more_than_uniform(self):
+        uniform = np.full(40, 100.0)
+        skewed = uniform.copy()
+        skewed[0] = 2000.0
+        skewed[1:] = (uniform.sum() - 2000.0) / 39
+        assert cpu_chunked_time(skewed, CPU, PROFILE_SPGEMM) > cpu_chunked_time(
+            uniform, CPU, PROFILE_SPGEMM
+        )
+
+    def test_rejects_negative_work(self):
+        with pytest.raises(ValidationError):
+            cpu_chunked_time([-1.0], CPU, PROFILE_SPGEMM)
+
+    def test_rejects_2d_work(self):
+        with pytest.raises(ValidationError):
+            cpu_chunked_time(np.ones((2, 2)), CPU, PROFILE_SPGEMM)
+
+    def test_chunk_sums_variant_matches_heaviest(self):
+        sums = np.array([10.0, 50.0, 20.0])
+        t = cpu_time_from_chunk_sums(sums, CPU, PROFILE_SPGEMM)
+        rate = effective_rate_per_ms(CPU, PROFILE_SPGEMM) / CPU.threads
+        assert t == pytest.approx(50.0 / rate + CPU.kernel_launch_us * 1e-3)
+
+    def test_chunk_sums_zero_is_free(self):
+        assert cpu_time_from_chunk_sums(np.zeros(4), CPU, PROFILE_SPGEMM) == 0.0
+
+    def test_sequential_time(self):
+        t = cpu_sequential_time(1000.0, CPU, PROFILE_SPGEMM)
+        per_thread = effective_rate_per_ms(CPU, PROFILE_SPGEMM) / CPU.threads
+        assert t == pytest.approx(1000.0 / per_thread)
+
+
+class TestGpuWarpTime:
+    def test_empty_is_free(self):
+        assert gpu_warp_time([], GPU, PROFILE_SPGEMM) == 0.0
+
+    def test_uniform_rows_pay_no_divergence(self):
+        work = np.full(32 * 100, 64.0)
+        t = gpu_warp_time(work, GPU, PROFILE_SPGEMM)
+        rate = effective_rate_per_ms(GPU, PROFILE_SPGEMM)
+        assert t == pytest.approx(work.sum() / rate + GPU.kernel_launch_us * 1e-3)
+
+    def test_divergence_charges_warp_max(self):
+        uniform = np.full(3200, 64.0)
+        one_heavy_per_warp = uniform.copy().reshape(-1, 32)
+        one_heavy_per_warp[:, 0] = 640.0
+        skewed = one_heavy_per_warp.ravel()
+        t_u = gpu_warp_time(uniform, GPU, PROFILE_SPGEMM)
+        t_s = gpu_warp_time(skewed, GPU, PROFILE_SPGEMM)
+        # Every lane runs as long as the heavy one: ~10x the uniform time.
+        assert t_s > 5 * t_u
+
+    def test_straggler_bound_on_tiny_inputs(self):
+        # One monster row cannot finish faster than a single lane allows.
+        t = gpu_warp_time([1e6], GPU, PROFILE_SPGEMM)
+        lane_rate = effective_rate_per_ms(GPU, PROFILE_SPGEMM) / GPU.cores
+        assert t >= 1e6 / lane_rate
+
+
+class TestGpuRowPerWarpTime:
+    def test_short_rows_pay_quantum(self):
+        # 4-flop rows still cost a 64-flop warp quantum each.
+        t_short = gpu_row_per_warp_time(np.full(1000, 4.0), GPU, PROFILE_SPGEMM)
+        t_full = gpu_row_per_warp_time(np.full(1000, 64.0), GPU, PROFILE_SPGEMM)
+        assert t_short == pytest.approx(t_full)
+
+    def test_long_rows_parallelize(self):
+        # A single 64k-flop row is far cheaper than 1000 64-flop rows would
+        # be under one-lane-per-row execution.
+        t = gpu_row_per_warp_time([64000.0], GPU, PROFILE_SPGEMM)
+        rate = effective_rate_per_ms(GPU, PROFILE_SPGEMM)
+        warp_rate = rate * GPU.warp_size / GPU.cores
+        assert t == pytest.approx(
+            max(64000.0 / rate, 64000.0 / warp_rate) + GPU.kernel_launch_us * 1e-3
+        )
+
+    def test_empty_is_free(self):
+        assert gpu_row_per_warp_time([], GPU, PROFILE_SPGEMM) == 0.0
+
+
+class TestGpuIterativeTime:
+    def test_zero_iterations_is_free(self):
+        assert gpu_iterative_time(100.0, 0, GPU, PROFILE_CC) == 0.0
+
+    def test_launch_cost_per_round(self):
+        t1 = gpu_iterative_time(0.0, 1, GPU, PROFILE_CC)
+        t10 = gpu_iterative_time(0.0, 10, GPU, PROFILE_CC)
+        assert t10 == pytest.approx(10 * t1)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            gpu_iterative_time(1.0, -1, GPU, PROFILE_CC)
+        with pytest.raises(ValidationError):
+            gpu_iterative_time(-1.0, 1, GPU, PROFILE_CC)
+
+
+class TestDenseTime:
+    def test_gpu_faster_than_cpu_for_dense(self):
+        flops = 1e9
+        assert dense_mm_time(flops, GPU, PROFILE_DENSE_MM) < dense_mm_time(
+            flops, CPU, PROFILE_DENSE_MM
+        )
+
+    def test_zero_flops_free(self):
+        assert dense_mm_time(0.0, GPU, PROFILE_DENSE_MM) == 0.0
+
+    def test_rejects_negative_flops(self):
+        with pytest.raises(ValidationError):
+            dense_mm_time(-1.0, GPU, PROFILE_DENSE_MM)

@@ -1,0 +1,68 @@
+"""Tests for repro.platform.device — device specs and presets."""
+
+import pytest
+
+from repro.platform.device import DeviceSpec, cpu_xeon_e5_2650_dual, gpu_tesla_k40c
+from repro.util.errors import ValidationError
+
+
+class TestDeviceSpec:
+    def test_peak_gflops(self):
+        spec = DeviceSpec(
+            name="x", kind="cpu", cores=4, threads=8, clock_ghz=2.0,
+            flops_per_cycle=8.0, mem_bandwidth_gbs=50.0,
+        )
+        assert spec.peak_gflops == pytest.approx(64.0)
+
+    def test_warps_in_flight(self):
+        gpu = gpu_tesla_k40c()
+        assert gpu.warps_in_flight == gpu.cores // gpu.warp_size
+
+    def test_rejects_bad_kind(self):
+        with pytest.raises(ValidationError):
+            DeviceSpec("x", "tpu", 1, 1, 1.0, 1.0, 1.0)
+
+    @pytest.mark.parametrize("field,value", [
+        ("cores", 0), ("threads", 0), ("sm_count", 0), ("warp_size", 0),
+    ])
+    def test_rejects_nonpositive_counts(self, field, value):
+        kwargs = dict(name="x", kind="cpu", cores=1, threads=1, clock_ghz=1.0,
+                      flops_per_cycle=1.0, mem_bandwidth_gbs=1.0)
+        kwargs[field] = value
+        with pytest.raises(ValidationError):
+            DeviceSpec(**kwargs)
+
+    @pytest.mark.parametrize("field", ["clock_ghz", "flops_per_cycle", "mem_bandwidth_gbs"])
+    def test_rejects_nonpositive_rates(self, field):
+        kwargs = dict(name="x", kind="cpu", cores=1, threads=1, clock_ghz=1.0,
+                      flops_per_cycle=1.0, mem_bandwidth_gbs=1.0)
+        kwargs[field] = 0.0
+        with pytest.raises(ValidationError):
+            DeviceSpec(**kwargs)
+
+    def test_rejects_negative_launch(self):
+        with pytest.raises(ValidationError):
+            DeviceSpec("x", "gpu", 1, 1, 1.0, 1.0, 1.0, kernel_launch_us=-1.0)
+
+
+class TestPresets:
+    def test_k40c_peak_matches_datasheet(self):
+        # 2880 cores x 0.745 GHz x 2 FLOPs = ~4.29 TFLOPS SP.
+        assert gpu_tesla_k40c().peak_gflops == pytest.approx(4291.2, rel=1e-3)
+
+    def test_k40c_microarchitecture(self):
+        gpu = gpu_tesla_k40c()
+        assert gpu.sm_count == 15
+        assert gpu.warp_size == 32
+        assert gpu.cores == 15 * 192
+
+    def test_cpu_thread_count_matches_paper(self):
+        cpu = cpu_xeon_e5_2650_dual()
+        assert cpu.cores == 20  # dual 10-core
+        assert cpu.threads == 40  # SMT
+
+    def test_flops_ratio_is_88_12(self):
+        # The NaiveStatic calibration target (DESIGN.md section 5).
+        g = gpu_tesla_k40c().peak_gflops
+        c = cpu_xeon_e5_2650_dual().peak_gflops
+        assert g / (g + c) == pytest.approx(0.88, abs=0.005)

@@ -1,0 +1,213 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.components import components_dfs, components_union_find
+from repro.graphs.graph import Graph
+from repro.graphs.partition import CutProfile, split_by_vertex
+from repro.graphs.shiloach_vishkin import shiloach_vishkin
+from repro.sparse.construct import from_coo
+from repro.sparse.ops import add, mask_rows, vstack
+from repro.sparse.sampling import sample_submatrix
+from repro.sparse.spgemm import load_vector, spgemm
+from repro.util.prefix import balanced_chunks, split_index_for_share
+from repro.util.stats import near_concave_violations
+
+
+# -- strategies ---------------------------------------------------------------
+
+
+@st.composite
+def coo_matrices(draw, max_dim=24, max_nnz=80):
+    n_rows = draw(st.integers(1, max_dim))
+    n_cols = draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, max_nnz))
+    rows = draw(
+        st.lists(st.integers(0, n_rows - 1), min_size=nnz, max_size=nnz)
+    )
+    cols = draw(
+        st.lists(st.integers(0, n_cols - 1), min_size=nnz, max_size=nnz)
+    )
+    vals = draw(
+        st.lists(
+            st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+            min_size=nnz,
+            max_size=nnz,
+        )
+    )
+    return from_coo(
+        np.array(rows, dtype=np.int64),
+        np.array(cols, dtype=np.int64),
+        np.array(vals),
+        (n_rows, n_cols),
+    )
+
+
+@st.composite
+def graphs(draw, max_n=30, max_m=60):
+    n = draw(st.integers(2, max_n))
+    m = draw(st.integers(0, max_m))
+    u = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    v = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    uu, vv = np.array(u, dtype=np.int64), np.array(v, dtype=np.int64)
+    keep = uu != vv
+    return Graph(n, uu[keep], vv[keep])
+
+
+# -- CSR invariants ----------------------------------------------------------
+
+
+class TestCsrProperties:
+    @given(coo_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_csr_invariants_hold(self, a):
+        assert a.indptr[0] == 0 and a.indptr[-1] == a.nnz
+        assert np.all(np.diff(a.indptr) >= 0)
+        for i in range(a.n_rows):
+            cols, _ = a.row(i)
+            if cols.size > 1:
+                assert np.all(np.diff(cols) > 0)
+
+    @given(coo_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_transpose_involution(self, a):
+        assert a.transpose().transpose().allclose(a)
+
+    @given(coo_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_spmv_linearity(self, a):
+        gen = np.random.default_rng(0)
+        x = gen.random(a.n_cols)
+        y = gen.random(a.n_cols)
+        lhs = a.spmv(2.0 * x + y)
+        rhs = 2.0 * a.spmv(x) + a.spmv(y)
+        assert np.allclose(lhs, rhs)
+
+    @given(coo_matrices(max_dim=12, max_nnz=40))
+    @settings(max_examples=30, deadline=None)
+    def test_add_commutes(self, a):
+        gen = np.random.default_rng(1)
+        dense_b = (gen.random(a.shape) < 0.3) * gen.random(a.shape)
+        from repro.sparse.construct import from_dense
+
+        b = from_dense(dense_b)
+        assert np.allclose(add(a, b).to_dense(), add(b, a).to_dense())
+
+    @given(coo_matrices(max_dim=12, max_nnz=40))
+    @settings(max_examples=30, deadline=None)
+    def test_mask_rows_partition(self, a):
+        gen = np.random.default_rng(2)
+        keep = gen.random(a.n_rows) < 0.5
+        total = add(mask_rows(a, keep), mask_rows(a, ~keep))
+        assert np.allclose(total.to_dense(), a.to_dense())
+
+    @given(coo_matrices(max_dim=12, max_nnz=40), coo_matrices(max_dim=12, max_nnz=40))
+    @settings(max_examples=30, deadline=None)
+    def test_vstack_preserves_rows(self, a, b):
+        if a.n_cols != b.n_cols:
+            return
+        s = vstack(a, b)
+        assert np.allclose(s.to_dense()[: a.n_rows], a.to_dense())
+        assert np.allclose(s.to_dense()[a.n_rows :], b.to_dense())
+
+
+class TestSpgemmProperties:
+    @given(coo_matrices(max_dim=14, max_nnz=50))
+    @settings(max_examples=30, deadline=None)
+    def test_square_product_matches_dense(self, a):
+        if a.n_rows != a.n_cols:
+            return
+        assert np.allclose(spgemm(a, a).to_dense(), a.to_dense() @ a.to_dense())
+
+    @given(coo_matrices(max_dim=14, max_nnz=50))
+    @settings(max_examples=30, deadline=None)
+    def test_load_vector_upper_bounds_output(self, a):
+        if a.n_rows != a.n_cols:
+            return
+        lv = load_vector(a, a)
+        c = spgemm(a, a)
+        assert np.all(c.row_nnz() <= lv + 1e-9)
+
+    @given(coo_matrices(max_dim=14, max_nnz=50))
+    @settings(max_examples=30, deadline=None)
+    def test_sample_submatrix_within_parent(self, a):
+        size = min(5, a.n_rows, a.n_cols)
+        s = sample_submatrix(a, size, rng=3)
+        assert s.shape == (size, size)
+        assert s.nnz <= a.nnz
+
+
+# -- graph invariants -----------------------------------------------------------
+
+
+class TestGraphProperties:
+    @given(graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_all_component_algorithms_agree(self, g):
+        ref = components_union_find(g)
+        assert np.array_equal(components_dfs(g), ref)
+        assert np.array_equal(shiloach_vishkin(g).labels, ref)
+
+    @given(graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_labels_are_minima_and_consistent(self, g):
+        labels = shiloach_vishkin(g).labels
+        # Endpoint labels agree along every edge.
+        assert np.all(labels[g.edge_u] == labels[g.edge_v])
+        # Each label is the minimum member of its component.
+        for comp in np.unique(labels):
+            assert comp == np.flatnonzero(labels == comp).min()
+
+    @given(graphs(), st.integers(0, 30))
+    @settings(max_examples=50, deadline=None)
+    def test_partition_conserves_edges(self, g, k):
+        k = min(k, g.n)
+        p = split_by_vertex(g, k)
+        assert p.cpu_graph.m + p.gpu_graph.m + p.n_cross == g.m
+        profile = CutProfile(g)
+        assert profile.m_cpu(k) == p.cpu_graph.m
+        assert profile.m_gpu(k) == p.gpu_graph.m
+
+    @given(graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_subgraph_components_no_finer_than_parent(self, g):
+        # Vertices together in an induced subgraph component are together
+        # in the parent too.
+        sel = np.arange(0, g.n, 2)
+        sub = g.subgraph(sel)
+        sub_labels = components_union_find(sub)
+        parent_labels = components_union_find(g)
+        for comp in np.unique(sub_labels):
+            members = sel[np.flatnonzero(sub_labels == comp)]
+            assert np.unique(parent_labels[members]).size == 1
+
+
+# -- utility invariants ------------------------------------------------------------
+
+
+class TestUtilProperties:
+    @given(st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=50),
+           st.floats(0, 1))
+    @settings(max_examples=60, deadline=None)
+    def test_split_share_invariant(self, work, share):
+        arr = np.array(work)
+        idx = split_index_for_share(arr, share)
+        assert 0 <= idx <= arr.size
+        if arr.sum() > 0:
+            assert arr[:idx].sum() >= share * arr.sum() - 1e-6
+
+    @given(st.integers(0, 100), st.integers(1, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_balanced_chunks_cover(self, n, parts):
+        chunks = balanced_chunks(n, parts)
+        assert sum(b - a for a, b in chunks) == n
+        sizes = [b - a for a, b in chunks]
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(st.lists(st.floats(0.1, 100, allow_nan=False), min_size=1, max_size=20))
+    @settings(max_examples=60, deadline=None)
+    def test_unimodal_series_has_no_violations(self, tail):
+        series = sorted(tail, reverse=True) + sorted(tail)
+        assert near_concave_violations(series) == 0

@@ -1,0 +1,135 @@
+"""Tests for repro.sparse.construct and repro.sparse.ops."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.construct import from_coo, from_dense, from_rows, identity, random_uniform
+from repro.sparse.ops import add, mask_rows, vstack
+from repro.util.errors import ValidationError
+from tests.conftest import random_sparse
+
+
+class TestFromCoo:
+    def test_sums_duplicates(self):
+        a = from_coo(
+            np.array([0, 0, 1]),
+            np.array([1, 1, 0]),
+            np.array([2.0, 3.0, 1.0]),
+            (2, 2),
+        )
+        assert a.nnz == 2
+        assert a.to_dense()[0, 1] == 5.0
+
+    def test_duplicates_rejected_when_disallowed(self):
+        with pytest.raises(ValidationError):
+            from_coo(
+                np.array([0, 0]), np.array([1, 1]), np.array([1.0, 1.0]), (2, 2),
+                sum_duplicates=False,
+            )
+
+    def test_unsorted_input_sorted(self):
+        a = from_coo(np.array([1, 0]), np.array([0, 1]), np.array([1.0, 2.0]), (2, 2))
+        assert np.array_equal(a.indptr, [0, 1, 2])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValidationError):
+            from_coo(np.array([3]), np.array([0]), np.array([1.0]), (2, 2))
+        with pytest.raises(ValidationError):
+            from_coo(np.array([0]), np.array([9]), np.array([1.0]), (2, 2))
+
+    def test_ragged_arrays_rejected(self):
+        with pytest.raises(ValidationError):
+            from_coo(np.array([0, 1]), np.array([0]), np.array([1.0]), (2, 2))
+
+    def test_empty(self):
+        a = from_coo(np.array([]), np.array([]), np.array([]), (3, 4))
+        assert a.nnz == 0 and a.shape == (3, 4)
+
+
+class TestOtherBuilders:
+    def test_from_dense_drops_zeros(self):
+        a = from_dense(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        assert a.nnz == 1
+
+    def test_from_dense_keep_explicit_zeros(self):
+        a = from_dense(np.zeros((2, 2)), keep_explicit_zeros=True)
+        assert a.nnz == 4
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ValidationError):
+            from_dense(np.ones(3))
+
+    def test_from_rows(self):
+        a = from_rows([np.array([2, 0]), np.array([])], [np.array([5.0, 1.0]), np.array([])], 3)
+        dense = a.to_dense()
+        assert dense[0, 0] == 1.0 and dense[0, 2] == 5.0 and np.all(dense[1] == 0)
+
+    def test_from_rows_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            from_rows([np.array([0])], [], 3)
+
+    def test_identity(self):
+        assert np.allclose(identity(4).to_dense(), np.eye(4))
+        assert identity(0).nnz == 0
+
+    def test_random_uniform_density(self):
+        a = random_uniform(500, 500, 12.0, rng=0)
+        assert a.nnz / a.n_rows == pytest.approx(12.0, rel=0.15)
+
+    def test_random_uniform_value_range(self):
+        a = random_uniform(100, 100, 5.0, rng=1, value_range=(2.0, 3.0))
+        # Colliding draws fold by summation, so values are bounded below by
+        # the range minimum but may exceed the maximum.
+        assert a.data.min() >= 2.0
+
+    def test_random_uniform_deterministic(self):
+        assert random_uniform(50, 50, 4, rng=9).allclose(random_uniform(50, 50, 4, rng=9))
+
+    def test_random_uniform_rejects_bad_args(self):
+        with pytest.raises(ValidationError):
+            random_uniform(-1, 5, 1.0)
+        with pytest.raises(ValidationError):
+            random_uniform(5, 5, -1.0)
+
+
+class TestOps:
+    def test_vstack_matches_dense(self):
+        a = random_sparse(10, 20, 0.2, seed=1)
+        b = random_sparse(15, 20, 0.2, seed=2)
+        stacked = vstack(a, b)
+        assert np.allclose(
+            stacked.to_dense(), np.vstack([a.to_dense(), b.to_dense()])
+        )
+
+    def test_vstack_rejects_column_mismatch(self):
+        with pytest.raises(ValidationError):
+            vstack(random_sparse(3, 4, 0.5, 1), random_sparse(3, 5, 0.5, 2))
+
+    def test_add_matches_dense(self):
+        a = random_sparse(20, 20, 0.2, seed=3)
+        b = random_sparse(20, 20, 0.2, seed=4)
+        assert np.allclose(add(a, b).to_dense(), a.to_dense() + b.to_dense())
+
+    def test_add_rejects_shape_mismatch(self):
+        with pytest.raises(ValidationError):
+            add(random_sparse(3, 3, 0.5, 1), random_sparse(4, 4, 0.5, 2))
+
+    def test_mask_rows_keeps_shape(self):
+        a = random_sparse(10, 10, 0.3, seed=5)
+        keep = np.zeros(10, dtype=bool)
+        keep[::2] = True
+        masked = mask_rows(a, keep)
+        assert masked.shape == a.shape
+        dense = a.to_dense().copy()
+        dense[~keep] = 0.0
+        assert np.allclose(masked.to_dense(), dense)
+
+    def test_mask_complements_partition(self):
+        a = random_sparse(12, 12, 0.3, seed=6)
+        keep = np.random.default_rng(7).random(12) < 0.5
+        total = add(mask_rows(a, keep), mask_rows(a, ~keep))
+        assert np.allclose(total.to_dense(), a.to_dense())
+
+    def test_mask_rows_rejects_bad_shape(self):
+        with pytest.raises(ValidationError):
+            mask_rows(random_sparse(5, 5, 0.5, 8), np.ones(4, dtype=bool))

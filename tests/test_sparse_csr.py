@@ -1,0 +1,156 @@
+"""Tests for repro.sparse.csr — the CSR container and its invariants."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import CsrMatrix
+from repro.sparse.construct import from_dense
+from repro.util.errors import ValidationError
+from tests.conftest import random_sparse
+
+
+def tiny() -> CsrMatrix:
+    #  [[1, 0, 2],
+    #   [0, 0, 0],
+    #   [0, 3, 0]]
+    return CsrMatrix(
+        indptr=np.array([0, 2, 2, 3]),
+        indices=np.array([0, 2, 1]),
+        data=np.array([1.0, 2.0, 3.0]),
+        shape=(3, 3),
+    )
+
+
+class TestConstructionInvariants:
+    def test_basic_properties(self):
+        a = tiny()
+        assert a.n_rows == 3 and a.n_cols == 3 and a.nnz == 3
+        assert np.array_equal(a.row_nnz(), [2, 0, 1])
+
+    def test_rejects_bad_indptr_length(self):
+        with pytest.raises(ValidationError):
+            CsrMatrix(np.array([0, 1]), np.array([0]), np.array([1.0]), (3, 3))
+
+    def test_rejects_nonzero_start(self):
+        with pytest.raises(ValidationError):
+            CsrMatrix(np.array([1, 2]), np.array([0]), np.array([1.0]), (1, 1))
+
+    def test_rejects_decreasing_indptr(self):
+        with pytest.raises(ValidationError):
+            CsrMatrix(np.array([0, 2, 1, 3]), np.arange(3), np.ones(3), (3, 3))
+
+    def test_rejects_column_out_of_range(self):
+        with pytest.raises(ValidationError):
+            CsrMatrix(np.array([0, 1]), np.array([5]), np.array([1.0]), (1, 3))
+
+    def test_rejects_unsorted_row(self):
+        with pytest.raises(ValidationError):
+            CsrMatrix(np.array([0, 2]), np.array([2, 0]), np.ones(2), (1, 3))
+
+    def test_rejects_duplicate_in_row(self):
+        with pytest.raises(ValidationError):
+            CsrMatrix(np.array([0, 2]), np.array([1, 1]), np.ones(2), (1, 3))
+
+    def test_descending_across_row_boundary_allowed(self):
+        # Row 0 ends at column 2; row 1 starts at column 0 — legal.
+        CsrMatrix(np.array([0, 1, 2]), np.array([2, 0]), np.ones(2), (2, 3))
+
+    def test_rejects_data_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            CsrMatrix(np.array([0, 1]), np.array([0]), np.ones(2), (1, 1))
+
+    def test_empty_matrix(self):
+        a = CsrMatrix(np.zeros(1, dtype=int), np.array([]), np.array([]), (0, 0))
+        assert a.nnz == 0 and a.to_dense().shape == (0, 0)
+
+
+class TestAccessors:
+    def test_row_view(self):
+        idx, vals = tiny().row(0)
+        assert np.array_equal(idx, [0, 2]) and np.array_equal(vals, [1.0, 2.0])
+
+    def test_empty_row(self):
+        idx, vals = tiny().row(1)
+        assert idx.size == 0 and vals.size == 0
+
+    def test_row_out_of_range(self):
+        with pytest.raises(ValidationError):
+            tiny().row(3)
+
+    def test_iter_rows_count(self):
+        assert len(list(tiny().iter_rows())) == 3
+
+    def test_memory_bytes_positive(self):
+        assert tiny().memory_bytes() > 0
+
+
+class TestStructuralOps:
+    def test_to_dense_round_trip(self):
+        gen = np.random.default_rng(0)
+        dense = (gen.random((20, 30)) < 0.2) * gen.random((20, 30))
+        assert np.allclose(from_dense(dense).to_dense(), dense)
+
+    def test_row_slice(self):
+        a = random_sparse(30, 20, 0.2, seed=1)
+        sub = a.row_slice(5, 15)
+        assert sub.shape == (10, 20)
+        assert np.allclose(sub.to_dense(), a.to_dense()[5:15])
+
+    def test_row_slice_empty(self):
+        a = tiny()
+        assert a.row_slice(1, 1).nnz == 0
+
+    def test_row_slice_bounds_checked(self):
+        with pytest.raises(ValidationError):
+            tiny().row_slice(2, 5)
+
+    def test_select_rows_with_duplicates(self):
+        a = tiny()
+        sel = a.select_rows(np.array([2, 0, 0]))
+        dense = a.to_dense()
+        assert np.allclose(sel.to_dense(), dense[[2, 0, 0]])
+
+    def test_select_rows_bounds_checked(self):
+        with pytest.raises(ValidationError):
+            tiny().select_rows(np.array([7]))
+
+    def test_transpose_matches_dense(self):
+        a = random_sparse(25, 40, 0.15, seed=2)
+        assert np.allclose(a.transpose().to_dense(), a.to_dense().T)
+
+    def test_transpose_involution(self):
+        a = random_sparse(25, 40, 0.15, seed=3)
+        assert a.transpose().transpose().allclose(a)
+
+    def test_spmv_matches_dense(self):
+        a = random_sparse(30, 30, 0.2, seed=4)
+        x = np.random.default_rng(5).random(30)
+        assert np.allclose(a.spmv(x), a.to_dense() @ x)
+
+    def test_spmv_rejects_wrong_length(self):
+        with pytest.raises(ValidationError):
+            tiny().spmv(np.ones(5))
+
+    def test_spmv_handles_empty_rows(self):
+        a = tiny()
+        y = a.spmv(np.ones(3))
+        assert y[1] == 0.0
+
+    def test_allclose_distinguishes_structure(self):
+        a = tiny()
+        b = CsrMatrix(a.indptr, a.indices, a.data * 1.0, a.shape)
+        assert a.allclose(b)
+        c = CsrMatrix(a.indptr, a.indices, a.data + 1.0, a.shape)
+        assert not a.allclose(c)
+
+
+class TestScipyCrossValidation:
+    def test_csr_layout_matches_scipy(self):
+        scipy_sparse = pytest.importorskip("scipy.sparse")
+        gen = np.random.default_rng(6)
+        dense = (gen.random((50, 50)) < 0.1) * gen.random((50, 50))
+        ours = from_dense(dense)
+        ref = scipy_sparse.csr_matrix(dense)
+        assert np.array_equal(ours.indptr, ref.indptr)
+        assert np.array_equal(ours.indices, ref.indices)
+        assert np.allclose(ours.data, ref.data)

@@ -1,0 +1,158 @@
+"""Tests for repro.sparse.sampling and repro.sparse.stats."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.construct import from_dense, random_uniform
+from repro.sparse.sampling import (
+    deterministic_block,
+    sample_rows_remap,
+    sample_submatrix,
+)
+from repro.sparse.stats import (
+    density,
+    heavy_row_share,
+    powerlaw_alpha_estimate,
+    row_nnz_histogram,
+)
+from repro.util.errors import ValidationError
+from repro.workloads.scalefree import scalefree_matrix
+from tests.conftest import random_sparse
+
+
+class TestSampleSubmatrix:
+    def test_shape(self):
+        a = random_sparse(60, 60, 0.2, seed=1)
+        assert sample_submatrix(a, 15, rng=0).shape == (15, 15)
+
+    def test_entries_come_from_parent(self):
+        a = random_sparse(40, 40, 0.3, seed=2)
+        s = sample_submatrix(a, 12, rng=3)
+        parent_vals = set(np.round(a.data, 12))
+        assert all(np.round(v, 12) in parent_vals for v in s.data)
+
+    def test_density_roughly_preserved(self):
+        a = random_uniform(400, 400, 40.0, rng=4)
+        s = sample_submatrix(a, 200, rng=5)
+        assert density(s) == pytest.approx(density(a), rel=0.25)
+
+    def test_size_zero(self):
+        a = random_sparse(10, 10, 0.5, seed=6)
+        assert sample_submatrix(a, 0, rng=7).shape == (0, 0)
+
+    def test_full_size_has_all_nnz(self):
+        a = random_sparse(20, 20, 0.3, seed=8)
+        s = sample_submatrix(a, 20, rng=9)
+        assert s.nnz == a.nnz
+
+    def test_rejects_oversized(self):
+        with pytest.raises(ValidationError):
+            sample_submatrix(random_sparse(5, 5, 0.5, 10), 6)
+
+    def test_seeded_reproducible(self):
+        a = random_sparse(50, 50, 0.2, seed=11)
+        assert sample_submatrix(a, 10, rng=42).allclose(sample_submatrix(a, 10, rng=42))
+
+
+class TestSampleRowsRemap:
+    def test_fold_preserves_total_values_per_row(self):
+        # Folding only merges cells; each sampled row's value sum survives.
+        a = random_sparse(50, 50, 0.3, seed=12)
+        s = sample_rows_remap(a, 10, rng=13)
+        assert s.shape == (10, 10)
+        # Row sums of the sample are a subset of the parent's row sums.
+        parent_sums = np.sort(a.to_dense().sum(axis=1))
+        for rs in s.to_dense().sum(axis=1):
+            assert np.any(np.isclose(parent_sums, rs))
+
+    def test_fold_saturates_density(self):
+        # A dense row folds to at most s distinct columns.
+        a = from_dense(np.ones((30, 30)))
+        s = sample_rows_remap(a, 5, rng=14)
+        assert s.row_nnz().max() <= 5
+
+    def test_thin_shrinks_density_linearly(self):
+        a = random_uniform(300, 300, 60.0, rng=15)
+        s = sample_rows_remap(a, 30, rng=16, thin=True)
+        # Expected density ~ 60 * 30/300 = 6 per row.
+        assert s.row_nnz().mean() == pytest.approx(6.0, rel=0.5)
+
+    def test_zero_rows(self):
+        a = random_sparse(10, 10, 0.5, seed=17)
+        assert sample_rows_remap(a, 0, rng=18).shape == (0, 0)
+
+    def test_rejects_oversample(self):
+        with pytest.raises(ValidationError):
+            sample_rows_remap(random_sparse(5, 5, 0.5, 19), 9)
+
+
+class TestDeterministicBlock:
+    def test_no_randomness(self):
+        a = random_sparse(60, 60, 0.2, seed=20)
+        b1 = deterministic_block(a, 20, 0)
+        b2 = deterministic_block(a, 20, 0)
+        assert b1.allclose(b2)
+
+    def test_positions_differ(self):
+        a = random_sparse(60, 60, 0.2, seed=21)
+        blocks = [deterministic_block(a, 20, p) for p in range(4)]
+        nnzs = {b.nnz for b in blocks}
+        assert len(nnzs) > 1 or not all(
+            blocks[0].allclose(b) for b in blocks[1:]
+        )
+
+    def test_block_is_contiguous_region(self):
+        dense = np.arange(36, dtype=float).reshape(6, 6) + 1
+        a = from_dense(dense)
+        top_left = deterministic_block(a, 3, 0, grid=2)
+        assert np.allclose(top_left.to_dense(), dense[:3, :3])
+        bottom_right = deterministic_block(a, 3, 3, grid=2)
+        assert np.allclose(bottom_right.to_dense(), dense[3:, 3:])
+
+    def test_rejects_bad_position(self):
+        with pytest.raises(ValidationError):
+            deterministic_block(random_sparse(6, 6, 0.5, 22), 3, 4, grid=2)
+
+    def test_rejects_oversized(self):
+        with pytest.raises(ValidationError):
+            deterministic_block(random_sparse(4, 4, 0.5, 23), 5, 0)
+
+
+class TestStats:
+    def test_density(self):
+        a = from_dense(np.eye(4))
+        assert density(a) == pytest.approx(0.25)
+
+    def test_histogram_sums_to_rows(self):
+        a = random_sparse(50, 50, 0.2, seed=24)
+        counts, edges = row_nnz_histogram(a, bins=8)
+        assert counts.sum() == 50
+        assert edges.size == 9
+
+    def test_histogram_rejects_zero_bins(self):
+        with pytest.raises(ValidationError):
+            row_nnz_histogram(random_sparse(5, 5, 0.5, 25), bins=0)
+
+    def test_powerlaw_alpha_discriminates(self):
+        # Fit the tail (d >= 10): a power law has a slowly decaying tail
+        # (small alpha), Poisson row counts decay super-exponentially.
+        sf = scalefree_matrix(3000, 10.0, alpha=2.1, rng=26)
+        uni = random_uniform(3000, 3000, 10.0, rng=27)
+        assert powerlaw_alpha_estimate(sf.row_nnz(), d_min=10) < powerlaw_alpha_estimate(
+            uni.row_nnz(), d_min=10
+        )
+
+    def test_powerlaw_alpha_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            powerlaw_alpha_estimate(np.array([]), d_min=1)
+
+    def test_heavy_row_share_discriminates(self):
+        sf = scalefree_matrix(3000, 10.0, alpha=2.0, rng=28)
+        uni = random_uniform(3000, 3000, 10.0, rng=29)
+        assert heavy_row_share(sf) > heavy_row_share(uni)
+
+    def test_heavy_row_share_bounds(self):
+        a = random_uniform(200, 200, 8.0, rng=30)
+        assert 0.0 <= heavy_row_share(a) <= 1.0
+        with pytest.raises(ValidationError):
+            heavy_row_share(a, quantile=1.5)

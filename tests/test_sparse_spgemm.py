@@ -1,0 +1,124 @@
+"""Tests for repro.sparse.spgemm — Gustavson SpGEMM and the load vector."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.construct import from_dense, identity, random_uniform
+from repro.sparse.spgemm import (
+    estimate_compression,
+    load_vector,
+    row_flops,
+    spgemm,
+    spgemm_dense_reference,
+    total_flops,
+)
+from repro.util.errors import ValidationError
+from tests.conftest import random_sparse
+
+
+class TestSpgemmCorrectness:
+    def test_matches_dense_reference(self):
+        a = random_sparse(40, 30, 0.15, seed=1)
+        b = random_sparse(30, 50, 0.15, seed=2)
+        assert np.allclose(spgemm(a, b).to_dense(), spgemm_dense_reference(a, b))
+
+    def test_identity_is_neutral(self):
+        a = random_sparse(25, 25, 0.2, seed=3)
+        assert spgemm(a, identity(25)).allclose(a)
+        assert spgemm(identity(25), a).allclose(a)
+
+    def test_empty_operand(self):
+        a = random_sparse(10, 10, 0.3, seed=4)
+        zero = from_dense(np.zeros((10, 10)))
+        assert spgemm(a, zero).nnz == 0
+        assert spgemm(zero, a).nnz == 0
+
+    def test_incompatible_shapes_rejected(self):
+        with pytest.raises(ValidationError):
+            spgemm(random_sparse(3, 4, 0.5, 5), random_sparse(3, 4, 0.5, 6))
+
+    def test_rectangular_product(self):
+        a = random_sparse(7, 13, 0.3, seed=7)
+        b = random_sparse(13, 5, 0.3, seed=8)
+        c = spgemm(a, b)
+        assert c.shape == (7, 5)
+        assert np.allclose(c.to_dense(), a.to_dense() @ b.to_dense())
+
+    def test_matches_scipy(self):
+        scipy_sparse = pytest.importorskip("scipy.sparse")
+        a = random_sparse(60, 60, 0.08, seed=9)
+        ref = (scipy_sparse.csr_matrix(a.to_dense()) @ scipy_sparse.csr_matrix(a.to_dense())).toarray()
+        assert np.allclose(spgemm(a, a).to_dense(), ref)
+
+    def test_associativity_small(self):
+        a = random_sparse(15, 15, 0.3, seed=10)
+        b = random_sparse(15, 15, 0.3, seed=11)
+        c = random_sparse(15, 15, 0.3, seed=12)
+        left = spgemm(spgemm(a, b), c).to_dense()
+        right = spgemm(a, spgemm(b, c)).to_dense()
+        assert np.allclose(left, right)
+
+
+class TestLoadVector:
+    def test_counts_multiplies_exactly(self):
+        a = random_sparse(30, 30, 0.2, seed=13)
+        lv = load_vector(a, a)
+        # Brute-force count: for each nonzero (i, k), row k of B contributes
+        # nnz_B(k) multiplies.
+        expected = np.zeros(a.n_rows)
+        b_nnz = a.row_nnz()
+        for i in range(a.n_rows):
+            cols, _ = a.row(i)
+            expected[i] = b_nnz[cols].sum()
+        assert np.allclose(lv, expected)
+
+    def test_equals_paper_identity(self):
+        # The paper's trick: L_AB = |A| x V_B as an spmv.
+        a = random_sparse(40, 40, 0.15, seed=14)
+        pattern = from_dense((a.to_dense() != 0).astype(float))
+        v_b = a.row_nnz().astype(float)
+        assert np.allclose(load_vector(a, a), pattern.spmv(v_b))
+
+    def test_row_flops_is_two_per_mult(self):
+        a = random_sparse(20, 20, 0.2, seed=15)
+        assert np.allclose(row_flops(a, a), 2.0 * load_vector(a, a))
+        assert total_flops(a, a) == pytest.approx(row_flops(a, a).sum())
+
+    def test_expansion_size_matches_load_vector(self):
+        # The COO expansion inside spgemm has exactly sum(L_AB) entries;
+        # verify indirectly: output nnz <= multiplies.
+        a = random_sparse(30, 30, 0.2, seed=16)
+        assert spgemm(a, a).nnz <= load_vector(a, a).sum()
+
+
+class TestCompressionEstimate:
+    def test_bounds(self):
+        a = random_sparse(50, 50, 0.1, seed=17)
+        r = estimate_compression(a, a)
+        assert 0.0 < r <= 1.0
+
+    def test_exact_on_full_sample(self):
+        a = random_sparse(40, 40, 0.15, seed=18)
+        est = estimate_compression(a, a, max_rows=40)
+        exact = spgemm(a, a).nnz / load_vector(a, a).sum()
+        assert est == pytest.approx(exact, rel=1e-9)
+
+    def test_deterministic_without_rng(self):
+        a = random_sparse(80, 80, 0.05, seed=19)
+        assert estimate_compression(a, a) == estimate_compression(a, a)
+
+    def test_banded_compresses_more_than_random(self):
+        # Overlapping bands collide heavily; scattered columns do not.
+        n = 120
+        band = np.zeros((n, n))
+        for off in range(-6, 7):
+            band += np.diag(np.ones(n - abs(off)), off)
+        banded = from_dense(band)
+        scattered = random_uniform(n, n, 13.0, rng=20)
+        assert estimate_compression(banded, banded) < estimate_compression(
+            scattered, scattered
+        )
+
+    def test_empty_work_returns_one(self):
+        zero = from_dense(np.zeros((5, 5)))
+        assert estimate_compression(zero, zero) == 1.0

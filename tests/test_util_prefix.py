@@ -1,0 +1,108 @@
+"""Tests for repro.util.prefix — prefix sums and work-share splitting."""
+
+import numpy as np
+import pytest
+
+from repro.util.errors import ValidationError
+from repro.util.prefix import (
+    balanced_chunks,
+    exclusive_prefix_sum,
+    inclusive_prefix_sum,
+    split_index_for_share,
+)
+
+
+class TestPrefixSums:
+    def test_inclusive_matches_cumsum(self):
+        vals = [1.0, 2.0, 3.0]
+        assert np.array_equal(inclusive_prefix_sum(vals), [1.0, 3.0, 6.0])
+
+    def test_exclusive_starts_at_zero(self):
+        out = exclusive_prefix_sum([5.0, 1.0, 2.0])
+        assert np.array_equal(out, [0.0, 5.0, 6.0])
+
+    def test_exclusive_and_inclusive_relate(self):
+        vals = np.arange(10, dtype=float)
+        inc = inclusive_prefix_sum(vals)
+        exc = exclusive_prefix_sum(vals)
+        assert np.allclose(inc - vals, exc)
+
+    def test_empty_input(self):
+        assert inclusive_prefix_sum([]).size == 0
+        assert exclusive_prefix_sum([]).size == 0
+
+
+class TestSplitIndexForShare:
+    def test_zero_share_takes_nothing(self):
+        assert split_index_for_share(np.array([1.0, 1.0, 1.0]), 0.0) == 0
+
+    def test_full_share_takes_everything(self):
+        assert split_index_for_share(np.array([1.0, 1.0, 1.0]), 1.0) == 3
+
+    def test_exact_half_on_uniform(self):
+        work = np.ones(10)
+        idx = split_index_for_share(work, 0.5)
+        # Prefix [0, idx) carries at least half the work.
+        assert work[:idx].sum() >= 0.5 * work.sum()
+        assert idx in (5, 6)
+
+    def test_prefix_carries_at_least_share(self):
+        gen = np.random.default_rng(3)
+        work = gen.uniform(0, 10, size=100)
+        for share in (0.1, 0.33, 0.5, 0.9):
+            idx = split_index_for_share(work, share)
+            assert work[:idx].sum() >= share * work.sum() - 1e-9
+
+    def test_minimality(self):
+        gen = np.random.default_rng(4)
+        work = gen.uniform(0, 10, size=50)
+        share = 0.4
+        idx = split_index_for_share(work, share)
+        if idx > 0:
+            assert work[: idx - 1].sum() < share * work.sum()
+
+    def test_skewed_work_splits_early(self):
+        work = np.array([100.0, 1.0, 1.0, 1.0])
+        assert split_index_for_share(work, 0.5) == 1
+
+    def test_all_zero_work_is_proportional(self):
+        assert split_index_for_share(np.zeros(10), 0.5) == 5
+
+    def test_empty_work(self):
+        assert split_index_for_share(np.array([]), 0.7) == 0
+
+    def test_rejects_out_of_range_share(self):
+        with pytest.raises(ValidationError):
+            split_index_for_share(np.ones(3), 1.5)
+
+    def test_rejects_negative_work(self):
+        with pytest.raises(ValidationError):
+            split_index_for_share(np.array([1.0, -1.0]), 0.5)
+
+
+class TestBalancedChunks:
+    def test_covers_range_without_overlap(self):
+        chunks = balanced_chunks(10, 3)
+        assert chunks[0][0] == 0 and chunks[-1][1] == 10
+        for (a, b), (c, d) in zip(chunks, chunks[1:]):
+            assert b == c
+
+    def test_sizes_differ_by_at_most_one(self):
+        for n, parts in [(10, 3), (7, 7), (100, 40), (5, 2)]:
+            sizes = [b - a for a, b in balanced_chunks(n, parts)]
+            assert max(sizes) - min(sizes) <= 1
+            assert sum(sizes) == n
+
+    def test_more_parts_than_items(self):
+        chunks = balanced_chunks(2, 5)
+        assert len(chunks) == 5
+        assert sum(b - a for a, b in chunks) == 2
+
+    def test_zero_items(self):
+        assert all(a == b for a, b in balanced_chunks(0, 4))
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValidationError):
+            balanced_chunks(10, 0)
+        with pytest.raises(ValidationError):
+            balanced_chunks(-1, 2)

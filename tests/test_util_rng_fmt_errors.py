@@ -1,0 +1,84 @@
+"""Tests for repro.util.rng, repro.util.fmt and the error hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.util.errors import ReproError, SearchError, ValidationError, WorkloadError
+from repro.util.fmt import format_quantity, format_series, format_table
+from repro.util.rng import as_generator, spawn_child, stable_seed
+
+
+class TestRng:
+    def test_seed_reproducible(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_spawn_children_differ(self):
+        kids = [spawn_child(7, i).random() for i in range(4)]
+        assert len(set(kids)) == 4
+
+    def test_spawn_child_deterministic(self):
+        assert spawn_child(7, 2).random() == spawn_child(7, 2).random()
+
+    def test_spawn_child_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            spawn_child(7, -1)
+
+    def test_stable_seed_stable_and_distinct(self):
+        assert stable_seed("a", 1) == stable_seed("a", 1)
+        assert stable_seed("a", 1) != stable_seed("a", 2)
+        assert 0 <= stable_seed("x") < 2**63
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(ValidationError, ReproError)
+        assert issubclass(SearchError, ReproError)
+        assert issubclass(WorkloadError, ReproError)
+
+    def test_validation_is_value_error(self):
+        # Standard-library convention compatibility.
+        with pytest.raises(ValueError):
+            raise ValidationError("bad")
+
+
+class TestFormatting:
+    def test_quantity_int_thousands(self):
+        assert format_quantity(1234567) == "1,234,567"
+
+    def test_quantity_float_precision(self):
+        assert format_quantity(3.14159, precision=3) == "3.142"
+
+    def test_quantity_bool_passthrough(self):
+        assert format_quantity(True) == "True"
+
+    def test_table_alignment(self):
+        out = format_table(["name", "value"], [("a", 1.5), ("bbbb", 22.25)])
+        lines = out.splitlines()
+        assert len({len(l) for l in lines}) == 1  # all lines equal width
+        assert "22.25" in out
+
+    def test_table_title(self):
+        out = format_table(["x"], [(1,)], title="T")
+        assert out.startswith("T\n=")
+
+    def test_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_series_columns(self):
+        out = format_series("n", [1, 2], {"time": [0.5, 0.7], "cost": [1.0, 2.0]})
+        assert "time" in out and "cost" in out
+        assert "0.500" in out  # default precision 3
+
+    def test_series_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("n", [1, 2], {"time": [0.5]})

@@ -1,0 +1,94 @@
+"""Tests for repro.util.stats — the paper's evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.util.stats import (
+    Summary,
+    absolute_percent_gap,
+    geometric_mean,
+    near_concave_violations,
+    percent_difference,
+    relative_slowdown,
+    summarize,
+)
+
+
+class TestPercentDifference:
+    def test_positive(self):
+        assert percent_difference(110.0, 100.0) == pytest.approx(10.0)
+
+    def test_negative(self):
+        assert percent_difference(90.0, 100.0) == pytest.approx(-10.0)
+
+    def test_zero_over_zero(self):
+        assert percent_difference(0.0, 0.0) == 0.0
+
+    def test_zero_reference_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            percent_difference(1.0, 0.0)
+
+
+class TestThresholdGap:
+    def test_is_absolute(self):
+        assert absolute_percent_gap(80, 90) == pytest.approx(10.0)
+        assert absolute_percent_gap(90, 80) == pytest.approx(10.0)
+
+    def test_identical_thresholds(self):
+        assert absolute_percent_gap(42.0, 42.0) == 0.0
+
+
+class TestRelativeSlowdown:
+    def test_slower(self):
+        assert relative_slowdown(120.0, 100.0) == pytest.approx(20.0)
+
+    def test_clamped_at_zero(self):
+        # Floating-point noise can make the estimate look "faster".
+        assert relative_slowdown(99.9999999, 100.0) == 0.0
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_invariant_to_order(self):
+        vals = [0.5, 2.0, 8.0]
+        assert geometric_mean(vals) == pytest.approx(geometric_mean(vals[::-1]))
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestNearConcave:
+    def test_valley_is_unimodal(self):
+        assert near_concave_violations([5, 3, 1, 2, 4]) == 0
+
+    def test_monotone_is_unimodal(self):
+        assert near_concave_violations([1, 2, 3, 4]) == 0
+        assert near_concave_violations([4, 3, 2, 1]) == 0
+
+    def test_zigzag_counts_violations(self):
+        assert near_concave_violations([3, 1, 3, 1, 3]) > 0
+
+    def test_plateau_tolerated(self):
+        assert near_concave_violations([3, 2, 2, 2, 3]) == 0
+
+    def test_short_series(self):
+        assert near_concave_violations([1.0]) == 0
+        assert near_concave_violations([2.0, 1.0]) == 0
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 10.0])
+        assert isinstance(s, Summary)
+        assert s.mean == pytest.approx(4.0)
+        assert s.median == pytest.approx(2.5)
+        assert s.minimum == 1.0 and s.maximum == 10.0 and s.count == 4
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])

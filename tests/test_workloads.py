@@ -1,0 +1,203 @@
+"""Tests for repro.workloads — the Table II synthetic analogs."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.stats import heavy_row_share
+from repro.util.errors import WorkloadError
+from repro.workloads.band import banded_matrix, lattice_matrix
+from repro.workloads.dataset import Dataset
+from repro.workloads.mesh import planar_mesh_matrix
+from repro.workloads.rmat import rmat_edges, rmat_matrix
+from repro.workloads.road import road_network_matrix
+from repro.workloads.scalefree import scalefree_matrix
+from repro.workloads.suite import (
+    SUITE,
+    dataset_names,
+    load_dataset,
+    scalefree_subset_names,
+)
+from repro.graphs.components import count_components
+from repro.graphs.shiloach_vishkin import shiloach_vishkin
+
+
+def is_symmetric(m) -> bool:
+    """Numeric symmetry (band) — see pattern_symmetric for structure-only."""
+    return m.allclose(m.transpose()) or np.allclose(m.to_dense(), m.to_dense().T)
+
+
+def pattern_symmetric(m) -> bool:
+    t = m.transpose()
+    return np.array_equal(m.indptr, t.indptr) and np.array_equal(m.indices, t.indices)
+
+
+class TestBandedMatrix:
+    def test_symmetric(self):
+        assert is_symmetric(banded_matrix(200, 5.0, rng=0))
+
+    def test_density_near_target(self):
+        a = banded_matrix(2000, 20.0, heavy_fraction=0.0, segment_amplitude=0.0, rng=1)
+        # ~2*half_width+1 nnz per row.
+        assert a.nnz / a.n_rows == pytest.approx(41.0, rel=0.15)
+
+    def test_heavy_rows_widen_distribution(self):
+        plain = banded_matrix(1000, 10.0, heavy_fraction=0.0, rng=2)
+        heavy = banded_matrix(1000, 10.0, heavy_fraction=0.3, heavy_multiplier=4.0, rng=2)
+        assert heavy.row_nnz().std() > plain.row_nnz().std()
+
+    def test_segment_variation_changes_density_along_rows(self):
+        a = banded_matrix(3000, 20.0, segments=3, segment_amplitude=0.35, rng=3)
+        thirds = np.array_split(a.row_nnz(), 3)
+        means = [t.mean() for t in thirds]
+        assert max(means) / min(means) > 1.1
+
+    def test_banded_structure(self):
+        a = banded_matrix(300, 5.0, heavy_fraction=0.0, rng=4)
+        rows = np.repeat(np.arange(300), a.row_nnz())
+        assert np.abs(rows - a.indices).max() < 100  # nothing far off-diagonal
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(WorkloadError):
+            banded_matrix(0, 5.0)
+        with pytest.raises(WorkloadError):
+            banded_matrix(10, -1.0)
+        with pytest.raises(WorkloadError):
+            banded_matrix(10, 5.0, heavy_fraction=2.0)
+        with pytest.raises(WorkloadError):
+            banded_matrix(10, 5.0, segments=0)
+
+
+class TestLattice:
+    def test_shape_and_symmetry(self):
+        a = lattice_matrix((4, 4, 4, 3), block=2, rng=0)
+        assert a.n_rows == 4 * 4 * 4 * 3 * 2
+        assert pattern_symmetric(a)
+
+    def test_degree_regular(self):
+        a = lattice_matrix((6, 6, 6, 4), block=1, rng=1)
+        # 2d neighbors + diagonal; periodic lattice is degree regular.
+        assert a.row_nnz().std() == 0
+
+    def test_rejects_thin_dimension(self):
+        with pytest.raises(WorkloadError):
+            lattice_matrix((1, 4), block=1)
+
+
+class TestMeshAndRoad:
+    def test_mesh_degree_near_six(self):
+        a = planar_mesh_matrix(5000, rng=0)
+        assert a.nnz / a.n_rows == pytest.approx(6.0, rel=0.15)
+
+    def test_mesh_connected(self):
+        d = planar_mesh_matrix(2000, rng=1)
+        from repro.workloads.dataset import Dataset
+
+        ds = Dataset("m", "mesh", d, 0, 1)
+        labels = shiloach_vishkin(ds.as_graph()).labels
+        # The grid core keeps the mesh connected despite rewiring.
+        assert count_components(labels) <= 5
+
+    def test_road_degree_near_two(self):
+        a = road_network_matrix(30_000, rng=2)
+        assert a.nnz / a.n_rows == pytest.approx(2.2, rel=0.2)
+
+    def test_road_has_islands(self):
+        a = road_network_matrix(50_000, island_fraction=0.01, rng=3)
+        ds = Dataset("r", "road", a, 0, 1)
+        labels = shiloach_vishkin(ds.as_graph()).labels
+        assert count_components(labels) > 10
+
+    def test_road_spatial_order_cuts_few_edges(self):
+        # A prefix cut of a spatially ordered road net crosses few edges.
+        a = road_network_matrix(20_000, rng=4)
+        ds = Dataset("r", "road", a, 0, 1)
+        g = ds.as_graph()
+        from repro.graphs.partition import CutProfile
+
+        profile = CutProfile(g)
+        cross = profile.m_cross(g.n // 2)
+        assert cross < 0.05 * g.m
+
+    def test_road_rejects_tiny(self):
+        with pytest.raises(WorkloadError):
+            road_network_matrix(4)
+
+
+class TestRmatAndScaleFree:
+    def test_rmat_edges_shape_and_range(self):
+        e = rmat_edges(10, 5000, rng=0)
+        assert e.shape == (5000, 2)
+        assert e.min() >= 0 and e.max() < 1024
+
+    def test_rmat_skewed_degrees(self):
+        a = rmat_matrix(4000, 40_000, rng=1)
+        assert heavy_row_share(a) > 0.05
+
+    def test_rmat_degree_ordering(self):
+        a = rmat_matrix(4000, 40_000, rng=2, degree_order=True)
+        d = a.row_nnz()
+        # Ascending on average: last decile much denser than first.
+        assert d[-400:].mean() > 3 * d[:400].mean()
+
+    def test_rmat_nnz_near_target(self):
+        a = rmat_matrix(5000, 60_000, rng=3)
+        assert a.nnz == pytest.approx(60_000, rel=0.3)
+
+    def test_rmat_rejects_bad_probs(self):
+        with pytest.raises(WorkloadError):
+            rmat_edges(5, 10, probs=(0.5, 0.5, 0.5, 0.5))
+
+    def test_scalefree_mean_density(self):
+        a = scalefree_matrix(3000, 12.0, rng=4)
+        assert a.nnz / a.n_rows == pytest.approx(12.0, rel=0.25)
+
+    def test_scalefree_rejects_alpha_leq_one(self):
+        with pytest.raises(WorkloadError):
+            scalefree_matrix(100, 5.0, alpha=1.0)
+
+
+class TestSuite:
+    def test_registry_has_fifteen_paper_rows(self):
+        assert len(SUITE) == 15
+        assert dataset_names()[0] == "cant"
+        assert dataset_names()[-1] == "netherlands_osm"
+
+    def test_scalefree_subset_excludes_non_scalefree(self):
+        names = scalefree_subset_names()
+        assert "delaunay_n22" not in names and "qcd5_4" not in names
+        assert len(names) == 9
+        assert "asia_osm" not in names
+
+    def test_load_dataset_scaled_size(self):
+        d = load_dataset("cant", scale=1 / 32)
+        assert d.n == pytest.approx(62_451 / 32, rel=0.02)
+        # Average density preserved under scaling.
+        assert d.nnz / d.n == pytest.approx(64.2, rel=0.2)
+
+    def test_load_dataset_deterministic(self):
+        a = load_dataset("qcd5_4", scale=1 / 32)
+        b = load_dataset("qcd5_4", scale=1 / 32)
+        assert a.matrix.allclose(b.matrix)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(WorkloadError):
+            load_dataset("nonexistent")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(WorkloadError):
+            load_dataset("cant", scale=0.0)
+
+    def test_dataset_graph_view_cached(self):
+        d = load_dataset("rma10", scale=1 / 32)
+        assert d.as_graph() is d.as_graph()
+
+    def test_dataset_describe(self):
+        d = load_dataset("rma10", scale=1 / 32)
+        assert "rma10" in d.describe()
+
+    def test_dataset_requires_square(self):
+        from repro.util.errors import ValidationError
+        from tests.conftest import random_sparse
+
+        with pytest.raises(ValidationError):
+            Dataset("x", "fem", random_sparse(3, 4, 0.5, 0), 1, 1)

@@ -1,0 +1,59 @@
+"""Tests for repro.workloads.fingerprint — structural validation of analogs."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.construct import from_dense
+from repro.workloads.band import banded_matrix
+from repro.workloads.fingerprint import (
+    EXPECTED_FAMILY,
+    StructuralFingerprint,
+    fingerprint,
+)
+from repro.workloads.rmat import rmat_matrix
+from repro.workloads.road import road_network_matrix
+from repro.workloads.suite import dataset_names, load_dataset
+
+
+class TestFingerprintMetrics:
+    def test_diagonal_matrix_zero_bandwidth(self):
+        fp = fingerprint(from_dense(np.eye(50)))
+        assert fp.relative_bandwidth == 0.0
+        assert fp.n == 50 and fp.nnz == 50
+
+    def test_dense_matrix_bandwidth_near_third(self):
+        fp = fingerprint(from_dense(np.ones((60, 60))))
+        # Mean |i-j|/n over a full square is ~1/3.
+        assert fp.relative_bandwidth == pytest.approx(1 / 3, abs=0.05)
+
+    def test_band_has_low_bandwidth_high_locality(self):
+        fp = fingerprint(banded_matrix(2000, 15.0, rng=0))
+        assert fp.relative_bandwidth < 0.05
+        assert fp.locality > 0.5
+
+    def test_powerlaw_has_heavy_tail(self):
+        fp = fingerprint(rmat_matrix(3000, 30_000, rng=1))
+        assert fp.heavy_share > 0.08
+        assert fp.cv_density > 1.0
+
+    def test_road_is_sparse_and_fragmented(self):
+        fp = fingerprint(road_network_matrix(20_000, rng=2))
+        assert fp.mean_density < 3.0
+        assert fp.n_components > 1
+        assert fp.giant_share > 0.9
+
+    def test_empty_matrix(self):
+        fp = fingerprint(from_dense(np.zeros((4, 4))))
+        assert fp.nnz == 0 and fp.heavy_share == 0.0
+
+    def test_record_type(self):
+        fp = fingerprint(banded_matrix(200, 5.0, rng=3))
+        assert isinstance(fp, StructuralFingerprint)
+
+
+class TestSuiteClassification:
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_every_analog_lands_in_its_family(self, name):
+        dataset = load_dataset(name, scale=1 / 64)
+        fp = fingerprint(dataset)
+        assert fp.classify() == EXPECTED_FAMILY[dataset.kind], fp
