@@ -41,6 +41,9 @@ Subpackages
 ``repro.experiments``
     One module per paper table/figure; ``python -m repro.experiments all``
     regenerates everything.
+``repro.analysis``
+    Static analysis: the repo-invariant linter and the schedule hazard
+    detector (``python -m repro.analysis``); see docs/ANALYSIS.md.
 """
 
 from repro.core import (

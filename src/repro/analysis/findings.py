@@ -1,0 +1,59 @@
+"""The shared finding record for both analysis layers.
+
+The linter anchors findings to a file and line; the hazard detector anchors
+them to spans of a recorded timeline.  Both produce the same structure so
+the CLI, tests, and CI render and count them uniformly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation or schedule hazard.
+
+    Attributes
+    ----------
+    code:
+        Stable identifier (``"RNG001"``, ``"HZD003"``, ...).  Codes never
+        change meaning; retired codes are not reused.
+    message:
+        Human-readable description of the specific violation.
+    path:
+        Source file for lint findings; a trace name (``"<timeline>"`` or a
+        JSON file path) for hazard findings.
+    line:
+        1-based source line for lint findings; span index in recording
+        order for hazard findings.
+    col:
+        0-based source column for lint findings; ``0`` for hazards.
+    """
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def render_findings(findings: list[Finding]) -> str:
+    """Text report: one finding per line plus a summary tail."""
+    lines = [f.render() for f in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"{len(findings)} {noun}")
+    return "\n".join(lines)
+
+
+def findings_to_json(findings: list[Finding]) -> str:
+    """The CLI's machine-readable report (see docs/ANALYSIS.md for schema)."""
+    return json.dumps(
+        {"count": len(findings), "findings": [asdict(f) for f in findings]},
+        indent=2,
+        sort_keys=True,
+    )

@@ -1,0 +1,183 @@
+"""Schedule hazard detection for simulated timelines.
+
+A :class:`~repro.platform.timeline.Timeline` stands in for the paper's
+CPU+GPU testbed, so its traces must be *physically plausible* — a real
+machine cannot run two kernels on one device at once, and a GPU phase
+cannot consume data whose PCIe upload has not finished.  The simulator's
+recording API enforces some of this by construction; hand-built traces,
+serialized traces, and future scheduler extensions do not get that
+protection, which is what these checks are for.
+
+Hazard classes
+--------------
+``HZD001``  Two spans on one resource overlap in time.
+``HZD002``  Non-monotone clock: a span starts before ``t=0``, earlier than
+            the previous span recorded on the same resource, or ends past
+            the timeline's reported makespan.
+``HZD003``  A span has a negative, NaN, or infinite start/duration.
+``HZD004``  PCIe data hazard: a ``gpu*`` span starts before the end of an
+            ``h2d`` transfer recorded *earlier in the trace* for the same
+            phase.  The matching convention: labels are ``<phase>/<step>``,
+            an upload step begins with ``h2d``, and recording order is
+            causality — a gpu span ``phase2/spgemm-gpu`` depends on every
+            pcie span ``phase2/h2d-*`` that precedes it in the record.
+
+All checks tolerate floating-point jitter up to :data:`TOLERANCE_MS`.
+Findings reuse :class:`~repro.analysis.findings.Finding`; ``line`` is the
+span's index in recording order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+from repro.platform.timeline import Span, Timeline
+
+#: Slack, in simulated milliseconds, below which two spans are considered
+#: abutting rather than overlapping (fork-join composition produces exact
+#: shared endpoints, but serialized traces round-trip through JSON).
+TOLERANCE_MS = 1e-9
+
+#: Hazard catalog, mirroring :data:`repro.analysis.reprolint.RULES`.
+HAZARDS: dict[str, str] = {
+    "HZD001": "overlapping spans on a single resource",
+    "HZD002": "non-monotone clock (span out of recording order or past makespan)",
+    "HZD003": "negative, NaN, or infinite span timing",
+    "HZD004": "gpu span starts before its phase's h2d transfer lands",
+}
+
+
+def _phase(label: str) -> str:
+    """The ``<phase>`` part of a ``<phase>/<step>`` label ('' if unphased)."""
+    head, sep, _ = label.partition("/")
+    return head if sep else ""
+
+
+def _step(label: str) -> str:
+    return label.rpartition("/")[2]
+
+
+def _is_bad_number(x: float) -> bool:
+    return math.isnan(x) or math.isinf(x) or x < 0
+
+
+def check_spans(
+    spans: Sequence[Span],
+    total_ms: float | None = None,
+    source: str = "<timeline>",
+) -> list[Finding]:
+    """Hazard-check an ordered span list (recording order matters).
+
+    *total_ms* is the timeline's reported makespan; when given, a span
+    ending past it is an HZD002 (the clock fell behind its own record).
+    """
+    findings: list[Finding] = []
+
+    def add(code: str, index: int, message: str) -> None:
+        findings.append(Finding(code=code, message=message, path=source, line=index))
+
+    # -- HZD003: malformed numbers (checked first; malformed spans are
+    # excluded from the ordering/overlap checks to avoid cascading noise).
+    well_formed: list[tuple[int, Span]] = []
+    for i, span in enumerate(spans):
+        if _is_bad_number(span.duration_ms) or math.isnan(span.start_ms) or math.isinf(span.start_ms):
+            add(
+                "HZD003",
+                i,
+                f"span {i} ({span.resource!r}, {span.label!r}) has invalid "
+                f"timing: start={span.start_ms}, duration={span.duration_ms}",
+            )
+            continue
+        well_formed.append((i, span))
+
+    # -- HZD002: monotone clock per resource, spans within [0, makespan].
+    last_start: dict[str, tuple[int, float]] = {}
+    for i, span in well_formed:
+        if span.start_ms < -TOLERANCE_MS:
+            add(
+                "HZD002",
+                i,
+                f"span {i} ({span.resource!r}, {span.label!r}) starts at "
+                f"{span.start_ms} ms, before the clock's origin",
+            )
+        prev = last_start.get(span.resource)
+        if prev is not None and span.start_ms < prev[1] - TOLERANCE_MS:
+            add(
+                "HZD002",
+                i,
+                f"span {i} ({span.resource!r}, {span.label!r}) starts at "
+                f"{span.start_ms} ms, before span {prev[0]} recorded earlier "
+                f"on the same resource (start {prev[1]} ms)",
+            )
+        last_start[span.resource] = (i, span.start_ms)
+        if total_ms is not None and span.end_ms > total_ms + TOLERANCE_MS:
+            add(
+                "HZD002",
+                i,
+                f"span {i} ({span.resource!r}, {span.label!r}) ends at "
+                f"{span.end_ms} ms, past the reported makespan {total_ms} ms",
+            )
+
+    # -- HZD001: overlap within each resource (sorted sweep).
+    by_resource: dict[str, list[tuple[int, Span]]] = {}
+    for i, span in well_formed:
+        by_resource.setdefault(span.resource, []).append((i, span))
+    for resource, items in by_resource.items():
+        items.sort(key=lambda pair: (pair[1].start_ms, pair[1].end_ms))
+        prev_i, prev_span = items[0]
+        for i, span in items[1:]:
+            if span.start_ms < prev_span.end_ms - TOLERANCE_MS:
+                add(
+                    "HZD001",
+                    i,
+                    f"spans {prev_i} ({prev_span.label!r}) and {i} "
+                    f"({span.label!r}) overlap on resource {resource!r}: "
+                    f"[{prev_span.start_ms}, {prev_span.end_ms}) vs "
+                    f"[{span.start_ms}, {span.end_ms})",
+                )
+            if span.end_ms > prev_span.end_ms:
+                prev_i, prev_span = i, span
+
+    # -- HZD004: gpu compute consuming an unfinished h2d upload.  A gpu
+    # span depends on the h2d transfers of its phase that were *recorded
+    # before it* — recording order is the trace's causality: an upload
+    # recorded later feeds later steps only (e.g. CC's mid-phase label
+    # upload feeds the merge span, not the SV sweep that preceded it).
+    h2d_end_by_phase: dict[str, tuple[int, float]] = {}
+    for i, span in well_formed:
+        if span.resource == "pcie" and _step(span.label).startswith("h2d"):
+            phase = _phase(span.label)
+            prev = h2d_end_by_phase.get(phase)
+            if prev is None or span.end_ms > prev[1]:
+                h2d_end_by_phase[phase] = (i, span.end_ms)
+            continue
+        if not span.resource.startswith("gpu"):
+            continue
+        upload = h2d_end_by_phase.get(_phase(span.label))
+        if upload is not None and span.start_ms < upload[1] - TOLERANCE_MS:
+            add(
+                "HZD004",
+                i,
+                f"gpu span {i} ({span.label!r}) starts at {span.start_ms} "
+                f"ms, before its phase's h2d transfer (span {upload[0]}) "
+                f"ends at {upload[1]} ms",
+            )
+
+    return sorted(findings, key=lambda f: (f.line, f.code))
+
+
+def check_timeline(timeline: Timeline, source: str = "<timeline>") -> list[Finding]:
+    """Hazard-check a recorded :class:`Timeline` (see :func:`check_spans`)."""
+    return check_spans(timeline.spans, total_ms=timeline.total_ms, source=source)
+
+
+def check_many(
+    timelines: Iterable[tuple[str, Timeline]],
+) -> list[Finding]:
+    """Check several named timelines, tagging findings with their names."""
+    findings: list[Finding] = []
+    for name, timeline in timelines:
+        findings.extend(check_timeline(timeline, source=name))
+    return findings

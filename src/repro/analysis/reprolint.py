@@ -1,0 +1,400 @@
+"""``reprolint``: the repository's AST-based invariant linter.
+
+Generic linters cannot see this project's two load-bearing conventions —
+that randomness flows through :mod:`repro.util.rng` and that simulator code
+never reads the wall clock — so this module encodes them as first-class
+rules over :mod:`ast` (stdlib only, no new dependencies).
+
+Rules
+-----
+``RNG001``
+    No ``np.random.*`` calls (or ``numpy.random`` imports) outside
+    ``repro/util/rng.py``.  Route every draw through
+    :func:`repro.util.rng.as_generator` / :func:`~repro.util.rng.spawn_child`
+    so experiments replay bit-identically (the Fig. 7 randomness study
+    depends on it).
+``RNG002``
+    No module-level RNG state: no ``*.seed(...)`` mutation of global
+    streams, and no generator constructed at module scope (import order
+    would become part of the experiment).
+``SIM001``
+    No wall-clock reads (``time.time``, ``time.perf_counter``, ...) inside
+    ``repro/platform``, ``repro/hetero``, or ``repro/core`` — the simulator
+    clock is :class:`~repro.platform.timeline.Timeline`.
+``UNIT001``
+    Duration-bearing names (``duration``, ``elapsed``, ``makespan``,
+    ``latency``, ``runtime`` tokens) must carry an explicit unit suffix
+    (``_ms``, ``_us``, ``_ns``, ``_s``) so ms/us confusion cannot hide in a
+    name.  Names that are ratios/counts (``..._ratio``, ``..._count``, ...)
+    are exempt.
+``FLT001``
+    No ``==`` / ``!=`` against float expressions (float literals or
+    ``float(...)`` casts) in ``repro/core`` / ``repro/platform`` — compare
+    with a tolerance or restructure the test.
+``ARG001``
+    No mutable default arguments (``[]``, ``{}``, ``set()``, ...) anywhere.
+
+Suppression
+-----------
+Append ``# reprolint: disable=CODE`` (comma-separate several codes, or use
+``all``) to the offending physical line.  Suppressions are line-scoped on
+purpose: a rule that needs a file-wide waiver deserves a code change
+instead.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+#: Rule catalog: stable code -> one-line summary (rendered by the CLI and
+#: docs/ANALYSIS.md).  Codes are never reused once retired.
+RULES: dict[str, str] = {
+    "RNG001": "np.random.* call outside repro/util/rng.py",
+    "RNG002": "module-level RNG state or global seed mutation",
+    "SIM001": "wall-clock read inside simulator code (platform/hetero/core)",
+    "UNIT001": "duration-bearing name without a unit suffix (_ms/_us/_ns/_s)",
+    "FLT001": "== / != on a float expression in core/platform",
+    "ARG001": "mutable default argument",
+    "SYN001": "file does not parse",
+}
+
+#: Directories (repo-relative, posix) whose files count as simulator code.
+SIM_SCOPES = ("repro/platform", "repro/hetero", "repro/core")
+
+#: Directories where float equality is flagged.
+FLT_SCOPES = ("repro/core", "repro/platform")
+
+#: The one module allowed to touch numpy's RNG constructors directly.
+RNG_MODULE_SUFFIX = "repro/util/rng.py"
+
+_WALL_CLOCK = {
+    "time.time",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.thread_time",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+}
+
+_GLOBAL_SEED_CALLS = {"np.random.seed", "numpy.random.seed", "random.seed"}
+
+_RNG_CONSTRUCTORS = {
+    "np.random.default_rng",
+    "numpy.random.default_rng",
+    "np.random.Generator",
+    "numpy.random.Generator",
+    "np.random.RandomState",
+    "numpy.random.RandomState",
+    "default_rng",
+    "as_generator",
+    "random.Random",
+}
+
+# Tokens that mark a name as holding a length of time ("duration",
+# "elapsed", ...) vs. tokens that mark it as dimensionless ("ratio", ...).
+_TIMED_TOKENS = frozenset("duration elapsed makespan latency runtime".split())
+_EXEMPT_TOKENS = frozenset(
+    "ratio fraction frac pct percent count scale factor rate".split()
+)
+_UNIT_SUFFIXES = ("_ms", "_us", "_ns", "_s", "_sec", "_seconds")
+
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` as a string for Name/Attribute chains, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _tokens(name: str) -> list[str]:
+    return [t for t in name.lower().split("_") if t]
+
+
+def _needs_unit_suffix(name: str) -> bool:
+    toks = _tokens(name)
+    if not any(t in _TIMED_TOKENS for t in toks):
+        return False
+    if any(t in _EXEMPT_TOKENS for t in toks):
+        return False
+    return not name.lower().endswith(_UNIT_SUFFIXES)
+
+
+def _is_float_expr(node: ast.expr) -> bool:
+    """Syntactically-evident float: a float literal or a ``float(...)`` cast."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+    ):
+        return True
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_expr(node.operand)
+    return False
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"list", "dict", "set", "bytearray"}
+    return False
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str) -> None:
+        self.path = path
+        posix = path.replace("\\", "/")
+        self.is_rng_module = posix.endswith(RNG_MODULE_SUFFIX)
+        self.in_sim_scope = any(f"{s}/" in posix or posix.endswith(s) for s in SIM_SCOPES)
+        self.in_flt_scope = any(f"{s}/" in posix or posix.endswith(s) for s in FLT_SCOPES)
+        self.findings: list[Finding] = []
+        #: Names bound by ``from time import perf_counter`` style imports.
+        self._wall_clock_aliases: dict[str, str] = {}
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _add(self, code: str, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                code=code,
+                message=message,
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+            )
+        )
+
+    # -- module scope (RNG002) ---------------------------------------------
+
+    @staticmethod
+    def _eager_calls(node: ast.expr):
+        """Calls evaluated when the expression is — not deferred in a lambda."""
+        stack: list[ast.AST] = [node]
+        while stack:
+            sub = stack.pop()
+            if isinstance(sub, ast.Lambda):
+                continue
+            if isinstance(sub, ast.Call):
+                yield sub
+            stack.extend(ast.iter_child_nodes(sub))
+
+    def visit_Module(self, node: ast.Module) -> None:
+        for stmt in node.body:
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                value = stmt.value
+                if value is None:
+                    continue
+                for call in self._eager_calls(value):
+                    name = _dotted(call.func)
+                    if name in _RNG_CONSTRUCTORS:
+                        self._add(
+                            "RNG002",
+                            stmt,
+                            f"module-level RNG state via {name}(); construct "
+                            "generators inside functions and thread them through",
+                        )
+                        break
+        self.generic_visit(node)
+
+    # -- imports (RNG001 / SIM001 bookkeeping) -----------------------------
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "numpy.random" and not self.is_rng_module:
+            self._add(
+                "RNG001",
+                node,
+                "import from numpy.random outside repro/util/rng.py; use "
+                "repro.util.rng.as_generator/spawn_child",
+            )
+        if node.module in {"time", "datetime"}:
+            for alias in node.names:
+                full = f"{node.module}.{alias.name}"
+                if full in _WALL_CLOCK:
+                    self._wall_clock_aliases[alias.asname or alias.name] = full
+        self.generic_visit(node)
+
+    # -- calls (RNG001 / RNG002 / SIM001) ----------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _dotted(node.func)
+        if name is not None:
+            if (
+                name.startswith(("np.random.", "numpy.random."))
+                and not self.is_rng_module
+            ):
+                self._add(
+                    "RNG001",
+                    node,
+                    f"{name}() outside repro/util/rng.py; route randomness "
+                    "through repro.util.rng (as_generator/spawn_child/stable_seed)",
+                )
+            if name in _GLOBAL_SEED_CALLS:
+                self._add(
+                    "RNG002",
+                    node,
+                    f"{name}() mutates global RNG state; seed an explicit "
+                    "Generator instead",
+                )
+            wall_name = self._wall_clock_aliases.get(name, name)
+            if wall_name in _WALL_CLOCK and self.in_sim_scope:
+                self._add(
+                    "SIM001",
+                    node,
+                    f"wall-clock read {wall_name}() in simulator code; the "
+                    "simulated clock is repro.platform.timeline.Timeline",
+                )
+        self.generic_visit(node)
+
+    # -- names (UNIT001) ---------------------------------------------------
+
+    def _check_unit_name(self, name: str, node: ast.AST) -> None:
+        if _needs_unit_suffix(name):
+            self._add(
+                "UNIT001",
+                node,
+                f"duration-bearing name '{name}' lacks a unit suffix "
+                "(_ms/_us/_ns/_s)",
+            )
+
+    def _check_arguments(self, node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda) -> None:
+        args = node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            self._check_unit_name(arg.arg, arg)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            for sub in ast.walk(target):
+                if isinstance(sub, ast.Name):
+                    self._check_unit_name(sub.id, sub)
+                elif isinstance(sub, ast.Attribute):
+                    self._check_unit_name(sub.attr, sub)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        target = node.target
+        if isinstance(target, ast.Name):
+            self._check_unit_name(target.id, target)
+        elif isinstance(target, ast.Attribute):
+            self._check_unit_name(target.attr, target)
+        self.generic_visit(node)
+
+    # -- defaults (ARG001) and params (UNIT001) ----------------------------
+
+    def _check_defaults(self, node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda) -> None:
+        defaults = [*node.args.defaults, *node.args.kw_defaults]
+        for default in defaults:
+            if default is not None and _is_mutable_literal(default):
+                self._add(
+                    "ARG001",
+                    default,
+                    "mutable default argument; use None and construct inside",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_arguments(node)
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_arguments(node)
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # -- comparisons (FLT001) ----------------------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if self.in_flt_scope:
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands[:-1], operands[1:]):
+                if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                    _is_float_expr(left) or _is_float_expr(right)
+                ):
+                    self._add(
+                        "FLT001",
+                        node,
+                        "== / != on a float expression; compare with a "
+                        "tolerance (math.isclose) or restructure",
+                    )
+                    break
+        self.generic_visit(node)
+
+
+def _suppressed_codes(line: str) -> set[str]:
+    match = _SUPPRESS_RE.search(line)
+    if not match:
+        return set()
+    return {c.strip().upper() for c in match.group(1).split(",") if c.strip()}
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint Python *source*, scoping path-dependent rules by *path*.
+
+    Returns findings sorted by (line, col, code); line-level suppression
+    comments are honored.  A syntax error yields a single ``SYN001``.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                code="SYN001",
+                message=f"syntax error: {exc.msg}",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+            )
+        ]
+    linter = _Linter(path)
+    linter.visit(tree)
+    lines = source.splitlines()
+    kept = []
+    for finding in linter.findings:
+        text = lines[finding.line - 1] if 0 < finding.line <= len(lines) else ""
+        suppressed = _suppressed_codes(text)
+        if finding.code in suppressed or "ALL" in suppressed:
+            continue
+        kept.append(finding)
+    return sorted(kept, key=lambda f: (f.line, f.col, f.code))
+
+
+def lint_file(path: str | Path) -> list[Finding]:
+    """Lint one file; the on-disk path scopes the path-dependent rules."""
+    p = Path(path)
+    return lint_source(p.read_text(encoding="utf-8"), str(p))
+
+
+def lint_paths(paths: list[str | Path]) -> list[Finding]:
+    """Lint files and/or directory trees (``*.py``, sorted, recursive)."""
+    files: list[Path] = []
+    for path in paths:
+        p = Path(path)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    findings: list[Finding] = []
+    for file in files:
+        findings.extend(lint_file(file))
+    return findings

@@ -1,0 +1,98 @@
+"""JSON serialization of timelines for offline hazard checking.
+
+The ``check-trace`` CLI subcommand operates on files, so timelines need a
+stable on-disk form.  The format is deliberately minimal::
+
+    {
+      "total_ms": 8.0,
+      "spans": [
+        {"resource": "cpu", "label": "phase2/a", "start_ms": 0.0,
+         "duration_ms": 2.0},
+        ...
+      ]
+    }
+
+``total_ms`` is optional on load (a plain span dump is accepted); spans
+keep their recording order, which the monotone-clock check depends on.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.platform.timeline import Span, Timeline
+from repro.util.errors import ValidationError
+
+_SPAN_KEYS = ("resource", "label", "start_ms", "duration_ms")
+
+
+def spans_to_dicts(spans: Sequence[Span]) -> list[dict]:
+    return [
+        {
+            "resource": s.resource,
+            "label": s.label,
+            "start_ms": s.start_ms,
+            "duration_ms": s.duration_ms,
+        }
+        for s in spans
+    ]
+
+
+def dump_trace(timeline: Timeline, path: str | Path) -> Path:
+    """Write *timeline* as JSON; returns the path written."""
+    p = Path(path)
+    payload = {
+        "total_ms": timeline.total_ms,
+        "spans": spans_to_dicts(timeline.spans),
+    }
+    p.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return p
+
+
+def load_trace(path: str | Path) -> tuple[list[Span], float | None]:
+    """Read a trace file; returns ``(spans, total_ms-or-None)``.
+
+    Raises :class:`ValidationError` on malformed documents — structural
+    problems are loader errors, while *physically implausible but
+    well-formed* values (negative durations, overlaps) are left for the
+    hazard checker to report with proper codes.
+    """
+    p = Path(path)
+    try:
+        doc = json.loads(p.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"{p}: not valid JSON: {exc}") from exc
+    if isinstance(doc, list):
+        raw_spans, total_ms = doc, None
+    elif isinstance(doc, dict):
+        raw_spans = doc.get("spans")
+        total_ms = doc.get("total_ms")
+        if not isinstance(raw_spans, list):
+            raise ValidationError(f"{p}: missing 'spans' list")
+        if total_ms is not None and not isinstance(total_ms, (int, float)):
+            raise ValidationError(f"{p}: 'total_ms' must be a number")
+    else:
+        raise ValidationError(f"{p}: expected a JSON object or span list")
+    spans = []
+    for i, raw in enumerate(raw_spans):
+        if not isinstance(raw, dict) or not all(k in raw for k in _SPAN_KEYS):
+            raise ValidationError(
+                f"{p}: span {i} must be an object with keys {', '.join(_SPAN_KEYS)}"
+            )
+        if not isinstance(raw["resource"], str) or not isinstance(raw["label"], str):
+            raise ValidationError(f"{p}: span {i} resource/label must be strings")
+        if not isinstance(raw["start_ms"], (int, float)) or not isinstance(
+            raw["duration_ms"], (int, float)
+        ):
+            raise ValidationError(f"{p}: span {i} start_ms/duration_ms must be numbers")
+        spans.append(
+            Span(
+                resource=raw["resource"],
+                label=raw["label"],
+                start_ms=float(raw["start_ms"]),
+                duration_ms=float(raw["duration_ms"]),
+            )
+        )
+    return spans, None if total_ms is None else float(total_ms)

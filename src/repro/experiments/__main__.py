@@ -48,6 +48,11 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated dataset restriction",
     )
     parser.add_argument(
+        "--validate-traces",
+        action="store_true",
+        help="hazard-check every reported simulated schedule (repro.analysis)",
+    )
+    parser.add_argument(
         "--csv",
         type=str,
         default=None,
@@ -79,16 +84,17 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         repeats=args.repeats,
         datasets=tuple(args.datasets.split(",")) if args.datasets else None,
+        validate_traces=args.validate_traces,
     )
     for exp_id in selected:
-        start = time.perf_counter()
+        start_s = time.perf_counter()
         report = REGISTRY[exp_id](config)
-        elapsed = time.perf_counter() - start
+        elapsed_s = time.perf_counter() - start_s
         print(report.render())
         if args.csv:
             for path in report.to_csv(args.csv):
                 print(f"[wrote {path}]")
-        print(f"[{exp_id} regenerated in {elapsed:.1f}s wall clock]")
+        print(f"[{exp_id} regenerated in {elapsed_s:.1f}s wall clock]")
         print()
     return 0
 

@@ -33,12 +33,18 @@ class ExperimentConfig:
         experiment's paper-default selection).
     repeats:
         Sampling repetitions averaged inside each estimate.
+    validate_traces:
+        Opt-in correctness pass: hazard-check the simulated timelines at
+        every threshold a study reports (see
+        :func:`repro.platform.trace.validate_timeline`).  Off by default —
+        the checks are O(spans log spans) per evaluated threshold.
     """
 
     scale: float = DEFAULT_SCALE
     seed: int = 2017
     datasets: tuple[str, ...] | None = None
     repeats: int = 1
+    validate_traces: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 < self.scale <= 1.0:

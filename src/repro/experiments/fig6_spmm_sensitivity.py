@@ -40,7 +40,13 @@ def run(config: ExperimentConfig | None = None) -> ExperimentReport:
                 rng=stable_seed(config.seed, "fig6", name, size, draw),
             )
 
-        rows = sensitivity_sweep(problem, partitioner_for, sizes, draws=3)
+        rows = sensitivity_sweep(
+            problem,
+            partitioner_for,
+            sizes,
+            draws=3,
+            validate_traces=config.validate_traces,
+        )
         table_rows = tuple(
             (
                 f"{f:g}*n",

@@ -50,7 +50,9 @@ def run(config: ExperimentConfig | None = None) -> ExperimentReport:
                 rng=stable_seed(config.seed, "fig9", name, size, draw),
             )
 
-        rows = sensitivity_sweep(problem, partitioner_for, sizes)
+        rows = sensitivity_sweep(
+            problem, partitioner_for, sizes, validate_traces=config.validate_traces
+        )
         table_rows = tuple(
             (
                 label,

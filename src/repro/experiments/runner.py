@@ -29,10 +29,33 @@ from repro.experiments.config import ExperimentConfig
 from repro.hetero.cc import CcProblem
 from repro.hetero.hh_cpu import HhCpuProblem
 from repro.hetero.spmm import SpmmProblem
+from repro.platform.trace import validate_timeline
 from repro.util.rng import stable_seed
 from repro.workloads.suite import cc_subset_names, scalefree_subset_names, spmm_subset_names
 
 ProblemFactory = Callable[[ExperimentConfig, str], PartitionProblem]
+
+
+def validate_reported_traces(
+    problem: PartitionProblem, thresholds: list[float]
+) -> None:
+    """Hazard-check the problem's timeline at each reported threshold.
+
+    The opt-in validation pass behind ``ExperimentConfig.validate_traces``:
+    re-derives the simulated schedule at the thresholds a study actually
+    publishes and raises if any is physically implausible (overlapping
+    spans, clock violations, PCIe ordering — see
+    :mod:`repro.analysis.hazards`).  Problems without a ``timeline``
+    method are skipped; the framework does not require one.
+    """
+    timeline_fn = getattr(problem, "timeline", None)
+    if timeline_fn is None:
+        return
+    for threshold in thresholds:
+        validate_timeline(
+            timeline_fn(threshold),
+            source=f"{problem.name}@threshold={threshold:g}",
+        )
 
 
 def cc_problem(config: ExperimentConfig, name: str) -> CcProblem:
@@ -105,14 +128,22 @@ def run_study(
     naive_avg = naive_average_threshold([o.threshold for o in oracles])
     comparisons = []
     for name, problem, oracle in zip(names, problems, oracles):
-        comparisons.append(
-            compare_with_baselines(
-                problem,
-                partitioner_factory(config, name),
-                naive_average=naive_avg,
-                oracle=oracle,
-            )
+        comparison = compare_with_baselines(
+            problem,
+            partitioner_factory(config, name),
+            naive_average=naive_avg,
+            oracle=oracle,
         )
+        if config.validate_traces:
+            validate_reported_traces(
+                problem,
+                [
+                    oracle.threshold,
+                    comparison.estimate.threshold,
+                    comparison.naive_static_threshold,
+                ],
+            )
+        comparisons.append(comparison)
     return comparisons
 
 
@@ -121,13 +152,15 @@ def sensitivity_sweep(
     partitioner_for: Callable[[int, int], SamplingPartitioner],
     sizes: list[int],
     draws: int = 5,
+    validate_traces: bool = False,
 ) -> list[dict]:
     """The Figure 4/6/9 protocol: total time vs sample size.
 
     For each sample size, run *draws* independent estimates (different
     sampling seeds) and average the estimation cost, the Phase-II time at
     the estimated threshold, and their sum.  ``partitioner_for(size, draw)``
-    supplies a configured partitioner.
+    supplies a configured partitioner.  With *validate_traces*, every
+    estimated threshold's simulated schedule is hazard-checked.
     """
     grid = problem.threshold_grid()
     lo, hi = float(grid[0]), float(grid[-1])
@@ -139,6 +172,8 @@ def sensitivity_sweep(
             threshold = min(max(estimate.threshold, lo), hi)
             est_costs.append(estimate.estimation_cost_ms)
             phase2s.append(problem.evaluate_ms(threshold))
+            if validate_traces:
+                validate_reported_traces(problem, [threshold])
         est = float(np.mean(est_costs))
         p2 = float(np.mean(phase2s))
         rows.append(

@@ -143,7 +143,7 @@ def cpu_time_from_chunk_sums(
     thread's rate, plus one parallel-region launch.
     """
     arr = _as_work(chunk_sums)
-    if arr.size == 0 or float(arr.max()) == 0.0:
+    if arr.size == 0 or float(arr.max()) <= 0.0:
         return 0.0
     per_thread = effective_rate_per_ms(spec, profile) / spec.threads
     return float(arr.max()) / per_thread + _launch_ms(spec)

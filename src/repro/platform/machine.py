@@ -130,8 +130,8 @@ def paper_testbed(time_scale: float = 1.0) -> HeterogeneousMachine:
     cpu = cpu_xeon_e5_2650_dual()
     gpu = gpu_tesla_k40c()
     link = pcie_gen3_x16()
-    if time_scale != 1.0:
-        cpu = replace(cpu, kernel_launch_us=cpu.kernel_launch_us * time_scale)
-        gpu = replace(gpu, kernel_launch_us=gpu.kernel_launch_us * time_scale)
-        link = replace(link, latency_us=link.latency_us * time_scale)
+    # Scaling by exactly 1.0 is the identity, so no special case is needed.
+    cpu = replace(cpu, kernel_launch_us=cpu.kernel_launch_us * time_scale)
+    gpu = replace(gpu, kernel_launch_us=gpu.kernel_launch_us * time_scale)
+    link = replace(link, latency_us=link.latency_us * time_scale)
     return HeterogeneousMachine(cpu=cpu, gpu=gpu, link=link)

@@ -9,7 +9,9 @@ performance engineer asks for:
   balanced partitioning in the first place);
 * :func:`idle_spans` — the gaps on one resource;
 * :func:`critical_summary` — which phase dominates the makespan;
-* :func:`render_gantt` — a plain-text Gantt chart for terminals.
+* :func:`render_gantt` — a plain-text Gantt chart for terminals;
+* :func:`validate_timeline` — opt-in schedule hazard check (delegates to
+  :mod:`repro.analysis.hazards`).
 """
 
 from __future__ import annotations
@@ -34,9 +36,28 @@ class ResourceUtilization:
         return self.busy_ms / self.makespan_ms if self.makespan_ms else 0.0
 
 
+def _merged_busy_ms(spans: list[Span]) -> float:
+    """Total covered time of *spans*, counting overlapped stretches once."""
+    intervals = sorted((s.start_ms, s.end_ms) for s in spans)
+    busy_ms = 0.0
+    cur_start, cur_end = intervals[0]
+    for start_ms, end_ms in intervals[1:]:
+        if start_ms > cur_end:
+            busy_ms += cur_end - cur_start
+            cur_start, cur_end = start_ms, end_ms
+        else:
+            cur_end = max(cur_end, end_ms)
+    return busy_ms + (cur_end - cur_start)
+
+
 def utilization(timeline: Timeline) -> dict[str, ResourceUtilization]:
-    """Per-resource utilization over the timeline's makespan."""
-    makespan = timeline.total_ms
+    """Per-resource utilization over the timeline's makespan.
+
+    Busy time is measured on merged intervals, so spans that overlap on one
+    resource (a hazard, but one hand-built traces can contain) count each
+    covered instant once — a resource can never exceed 100% utilization.
+    """
+    makespan_ms = timeline.total_ms
     out: dict[str, ResourceUtilization] = {}
     by_resource: dict[str, list[Span]] = {}
     for span in timeline.spans:
@@ -44,8 +65,8 @@ def utilization(timeline: Timeline) -> dict[str, ResourceUtilization]:
     for resource, spans in by_resource.items():
         out[resource] = ResourceUtilization(
             resource=resource,
-            busy_ms=sum(s.duration_ms for s in spans),
-            makespan_ms=makespan,
+            busy_ms=_merged_busy_ms(spans),
+            makespan_ms=makespan_ms,
             n_spans=len(spans),
         )
     return out
@@ -90,8 +111,8 @@ def render_gantt(timeline: Timeline, width: int = 64) -> str:
     """
     if width < 8:
         raise ValidationError("width must be >= 8")
-    makespan = timeline.total_ms
-    if makespan == 0 or not len(timeline):
+    makespan_ms = timeline.total_ms
+    if makespan_ms == 0 or not len(timeline):
         return "(empty timeline)"
 
     def order_key(name: str) -> tuple[int, str]:
@@ -105,9 +126,9 @@ def render_gantt(timeline: Timeline, width: int = 64) -> str:
 
     resources = sorted({s.resource for s in timeline.spans}, key=order_key)
     label_w = max(len(r) for r in resources)
-    scale = width / makespan
+    scale = width / makespan_ms
     lines = [
-        f"{'':{label_w}}  0{'.' * (width - 8)}{makespan:7.2f}ms",
+        f"{'':{label_w}}  0{'.' * (width - 8)}{makespan_ms:7.2f}ms",
     ]
     for resource in resources:
         row = [" "] * width
@@ -120,3 +141,20 @@ def render_gantt(timeline: Timeline, width: int = 64) -> str:
                 row[i] = "#"
         lines.append(f"{resource:{label_w}}  {''.join(row)}")
     return "\n".join(lines)
+
+
+def validate_timeline(timeline: Timeline, source: str = "<timeline>") -> None:
+    """Opt-in schedule validation: raise on any recorded hazard.
+
+    Delegates to :func:`repro.analysis.hazards.check_timeline` (imported
+    lazily — the analysis layer depends on this package, not vice versa)
+    and raises :class:`ValidationError` listing every finding.  Simulation
+    hot paths call this only when trace validation is switched on; see
+    ``ExperimentConfig.validate_traces``.
+    """
+    from repro.analysis.hazards import check_timeline
+
+    findings = check_timeline(timeline, source=source)
+    if findings:
+        detail = "; ".join(f"{f.code} {f.message}" for f in findings)
+        raise ValidationError(f"schedule hazards in {source}: {detail}")

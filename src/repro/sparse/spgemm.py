@@ -22,6 +22,7 @@ import numpy as np
 from repro.sparse.construct import from_coo
 from repro.sparse.csr import CsrMatrix, _ranges_gather
 from repro.util.errors import ValidationError
+from repro.util.rng import as_generator
 
 _INDEX = np.int64
 
@@ -113,9 +114,11 @@ def estimate_compression(
     if total_mults == 0:
         return 1.0
     if rng is None:
-        rng = np.random.default_rng(
-            (a.n_rows * 1_000_003 + a.nnz * 101 + b.nnz) % (2**63)
-        )
+        # The operand fingerprint is the seed, so repeated pricing of one
+        # instance agrees.  Kept as the historical arithmetic hash (not
+        # stable_seed) so previously published runs replay unchanged.
+        rng = (a.n_rows * 1_000_003 + a.nnz * 101 + b.nnz) % (2**63)
+    rng = as_generator(rng)
     candidates = np.flatnonzero(lv > 0)
     k = min(max_rows, candidates.size)
     rows = rng.choice(candidates, size=k, replace=False)

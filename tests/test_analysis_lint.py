@@ -1,0 +1,236 @@
+"""Tests for repro.analysis.reprolint: every rule, suppression, scoping."""
+
+from pathlib import Path
+
+from repro.analysis.reprolint import RULES, lint_file, lint_paths, lint_source
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestRng001:
+    def test_direct_call_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def f():\n"
+            "    return np.random.default_rng(3).random()\n"
+        )
+        findings = lint_source(src, "repro/sparse/foo.py")
+        assert codes(findings) == ["RNG001"]
+        assert findings[0].line == 3
+        assert "np.random.default_rng" in findings[0].message
+        assert "as_generator" in findings[0].message
+
+    def test_numpy_alias_flagged(self):
+        src = "import numpy\ndef f():\n    return numpy.random.uniform(0, 1)\n"
+        assert codes(lint_source(src, "repro/graphs/foo.py")) == ["RNG001"]
+
+    def test_module_level_draw_is_both_rules(self):
+        src = "import numpy as np\nx = np.random.default_rng(3).random()\n"
+        assert codes(lint_source(src, "repro/sparse/foo.py")) == [
+            "RNG002",
+            "RNG001",
+        ]
+
+    def test_import_from_numpy_random_flagged(self):
+        src = "from numpy.random import default_rng\n"
+        findings = lint_source(src, "repro/workloads/foo.py")
+        assert codes(findings) == ["RNG001"]
+        assert findings[0].line == 1
+
+    def test_rng_module_exempt(self):
+        src = "import numpy as np\ng = lambda: np.random.default_rng(0)\n"
+        assert lint_source(src, "src/repro/util/rng.py") == []
+
+    def test_generator_annotation_not_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def f(gen: np.random.Generator) -> None:\n"
+            "    gen.random()\n"
+        )
+        assert lint_source(src, "repro/workloads/foo.py") == []
+
+
+class TestRng002:
+    def test_global_seed_call_flagged(self):
+        src = "import numpy as np\ndef f():\n    np.random.seed(0)\n"
+        findings = lint_source(src, "repro/sparse/foo.py")
+        # The seed() call is both an np.random.* call and state mutation.
+        assert "RNG002" in codes(findings)
+        rng002 = [f for f in findings if f.code == "RNG002"][0]
+        assert rng002.line == 3
+        assert "global RNG state" in rng002.message
+
+    def test_module_level_generator_flagged(self):
+        src = "from repro.util.rng import as_generator\nGEN = as_generator(0)\n"
+        findings = lint_source(src, "repro/experiments/foo.py")
+        assert codes(findings) == ["RNG002"]
+        assert findings[0].line == 2
+        assert "module-level RNG state" in findings[0].message
+
+    def test_function_local_generator_ok(self):
+        src = (
+            "from repro.util.rng import as_generator\n"
+            "def f(seed):\n"
+            "    return as_generator(seed)\n"
+        )
+        assert lint_source(src, "repro/experiments/foo.py") == []
+
+
+class TestSim001:
+    def test_wall_clock_in_platform_flagged(self):
+        src = "import time\ndef f():\n    return time.perf_counter()\n"
+        findings = lint_source(src, "repro/platform/foo.py")
+        assert codes(findings) == ["SIM001"]
+        assert findings[0].line == 3
+        assert "Timeline" in findings[0].message
+
+    def test_from_import_alias_flagged(self):
+        src = (
+            "from time import perf_counter as clock\n"
+            "def f():\n"
+            "    return clock()\n"
+        )
+        findings = lint_source(src, "repro/hetero/foo.py")
+        assert codes(findings) == ["SIM001"]
+
+    def test_core_scope_included(self):
+        src = "import time\nx = lambda: time.time()\n"
+        assert codes(lint_source(src, "repro/core/foo.py")) == ["SIM001"]
+
+    def test_outside_simulator_scope_ok(self):
+        src = "import time\ndef f():\n    return time.perf_counter()\n"
+        assert lint_source(src, "repro/experiments/__main__.py") == []
+
+
+class TestUnit001:
+    def test_bare_variable_flagged(self):
+        src = "makespan = 4.0\n"
+        findings = lint_source(src, "repro/platform/foo.py")
+        assert codes(findings) == ["UNIT001"]
+        assert findings[0].line == 1
+        assert "'makespan'" in findings[0].message
+
+    def test_parameter_flagged(self):
+        src = "def f(elapsed):\n    return elapsed\n"
+        findings = lint_source(src, "repro/util/foo.py")
+        assert codes(findings) == ["UNIT001"]
+
+    def test_dataclass_field_flagged(self):
+        src = (
+            "from dataclasses import dataclass\n"
+            "@dataclass\n"
+            "class R:\n"
+            "    duration: float\n"
+        )
+        findings = lint_source(src, "repro/platform/foo.py")
+        assert codes(findings) == ["UNIT001"]
+        assert findings[0].line == 4
+
+    def test_suffixed_names_ok(self):
+        src = "duration_ms = 1.0\nelapsed_s = 2.0\nlatency_us = 3.0\n"
+        assert lint_source(src, "repro/platform/foo.py") == []
+
+    def test_dimensionless_tokens_exempt(self):
+        src = "runtime_ratio = 1.5\nlatency_scale = 2.0\n"
+        assert lint_source(src, "repro/platform/foo.py") == []
+
+
+class TestFlt001:
+    def test_float_literal_comparison_flagged(self):
+        src = "def f(x):\n    return x == 1.0\n"
+        findings = lint_source(src, "repro/platform/foo.py")
+        assert codes(findings) == ["FLT001"]
+        assert findings[0].line == 2
+        assert "tolerance" in findings[0].message
+
+    def test_float_cast_comparison_flagged(self):
+        src = "def f(a):\n    return float(a) != 0.5\n"
+        assert codes(lint_source(src, "repro/core/foo.py")) == ["FLT001"]
+
+    def test_int_literal_ok(self):
+        src = "def f(x):\n    return x == 0\n"
+        assert lint_source(src, "repro/core/foo.py") == []
+
+    def test_ordering_comparison_ok(self):
+        src = "def f(x):\n    return x <= 0.0\n"
+        assert lint_source(src, "repro/core/foo.py") == []
+
+    def test_out_of_scope_not_flagged(self):
+        src = "def f(x):\n    return x == 1.0\n"
+        assert lint_source(src, "repro/experiments/foo.py") == []
+
+
+class TestArg001:
+    def test_list_default_flagged(self):
+        src = "def f(items=[]):\n    return items\n"
+        findings = lint_source(src, "repro/util/foo.py")
+        assert codes(findings) == ["ARG001"]
+        assert findings[0].line == 1
+        assert "mutable default" in findings[0].message
+
+    def test_dict_call_default_flagged(self):
+        src = "def f(*, opts=dict()):\n    return opts\n"
+        assert codes(lint_source(src, "repro/util/foo.py")) == ["ARG001"]
+
+    def test_none_default_ok(self):
+        src = "def f(items=None):\n    return items or []\n"
+        assert lint_source(src, "repro/util/foo.py") == []
+
+
+class TestSuppressionAndPlumbing:
+    def test_line_suppression(self):
+        src = "import numpy as np\nx = np.random.uniform()  # reprolint: disable=RNG001\n"
+        assert lint_source(src, "repro/sparse/foo.py") == []
+
+    def test_suppress_all(self):
+        src = "makespan = 1.0  # reprolint: disable=all\n"
+        assert lint_source(src, "repro/platform/foo.py") == []
+
+    def test_suppression_is_code_specific(self):
+        src = "import numpy as np\nx = np.random.uniform()  # reprolint: disable=SIM001\n"
+        assert codes(lint_source(src, "repro/sparse/foo.py")) == ["RNG001"]
+
+    def test_syntax_error_reported(self):
+        findings = lint_source("def broken(:\n", "repro/foo.py")
+        assert codes(findings) == ["SYN001"]
+
+    def test_findings_sorted_by_line(self):
+        src = (
+            "import numpy as np\n"
+            "def f(xs=[]):\n"
+            "    return np.random.uniform()\n"
+        )
+        findings = lint_source(src, "repro/sparse/foo.py")
+        assert codes(findings) == ["ARG001", "RNG001"]
+
+    def test_lint_paths_walks_tree(self, tmp_path):
+        bad = tmp_path / "repro" / "platform"
+        bad.mkdir(parents=True)
+        (bad / "a.py").write_text("makespan = 1.0\n")
+        (bad / "b.py").write_text("ok_ms = 1.0\n")
+        findings = lint_paths([tmp_path])
+        assert codes(findings) == ["UNIT001"]
+
+    def test_lint_file(self, tmp_path):
+        f = tmp_path / "repro" / "core"
+        f.mkdir(parents=True)
+        path = f / "x.py"
+        path.write_text("def g(v):\n    return v == 2.5\n")
+        findings = lint_file(path)
+        assert codes(findings) == ["FLT001"]
+        assert findings[0].path == str(path)
+
+    def test_rule_catalog_covers_all_emitted_codes(self):
+        assert {"RNG001", "RNG002", "SIM001", "UNIT001", "FLT001", "ARG001"} <= set(
+            RULES
+        )
+
+
+class TestShippedTreeIsClean:
+    def test_src_repro_lints_clean(self):
+        findings = lint_paths([SRC_ROOT])
+        assert findings == [], "\n".join(f.render() for f in findings)

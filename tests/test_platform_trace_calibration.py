@@ -42,6 +42,24 @@ class TestUtilization:
     def test_empty_timeline(self):
         assert utilization(Timeline()) == {}
 
+    def test_overlapping_spans_not_double_counted(self):
+        # Regression: busy time is measured on merged intervals, so a
+        # hand-built trace with self-overlap cannot exceed 100% utilization.
+        tl = Timeline()
+        tl.record("cpu", "a", 0.0, 6.0)
+        tl.record("cpu", "b", 2.0, 6.0)  # overlaps [2, 6)
+        tl.record("cpu", "c", 9.0, 1.0)  # disjoint tail
+        u = utilization(tl)
+        assert u["cpu"].busy_ms == pytest.approx(9.0)  # [0,8) + [9,10)
+        assert u["cpu"].busy_fraction == pytest.approx(0.9)
+        assert u["cpu"].n_spans == 3
+
+    def test_contained_span_not_double_counted(self):
+        tl = Timeline()
+        tl.record("gpu", "outer", 0.0, 10.0)
+        tl.record("gpu", "inner", 3.0, 2.0)
+        assert utilization(tl)["gpu"].busy_ms == pytest.approx(10.0)
+
     def test_idle_spans(self):
         gaps = idle_spans(sample_timeline(), "cpu")
         # CPU works [0, 2) then idles to the end at 8.

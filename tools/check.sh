@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local gate, mirroring .github/workflows/ci.yml: the repo-invariant lint
+# followed by the tier-1 test suite.  Run from the repository root:
+#
+#     tools/check.sh            # lint + tests
+#     tools/check.sh --lint-only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== repro.analysis lint =="
+python -m repro.analysis lint src/repro
+
+if [[ "${1:-}" == "--lint-only" ]]; then
+    exit 0
+fi
+
+echo
+echo "== tier-1 tests =="
+python -m pytest -x -q
