@@ -1,0 +1,27 @@
+"""Benchmark: warm-cache replay of Figure 3 through the result cache.
+
+The regeneration benchmarks run cache-less (see conftest).  This one
+measures the engine's *other* hot path — a fully warm persistent cache —
+which is what CI re-runs and incremental studies hit.  It also guarantees
+the bench report's cache-hit counters are exercised end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments import fig3_cc
+
+
+def test_fig3_warm_cache(benchmark, bench_config, tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("engine-cache")
+    config = replace(bench_config, cache_dir=str(cache_dir))
+    cold = fig3_cc.run(config)  # populate the cache once
+    engine = config.engine()
+    hits_before = engine.stats.hits
+
+    report = benchmark(fig3_cc.run, config)
+
+    assert report.render() == cold.render()  # replay is byte-identical
+    assert engine.stats.hits > hits_before  # and actually came from cache
+    assert engine.stats.hit_rate > 0.0

@@ -77,6 +77,42 @@ class BaselineComparison:
             return float("inf")
         return self.gpu_only_time_ms / self.estimated_time_ms
 
+    # -- persistence (repro.engine.cache) ----------------------------------
+
+    def to_record(self) -> dict:
+        """A JSON-safe dict that round-trips via :meth:`from_record`."""
+        return {
+            "name": self.name,
+            "oracle": self.oracle.to_record(),
+            "estimate": self.estimate.to_record(),
+            "estimated_time_ms": self.estimated_time_ms,
+            "naive_static_threshold": self.naive_static_threshold,
+            "naive_static_time_ms": self.naive_static_time_ms,
+            "naive_average_threshold": self.naive_average_threshold,
+            "naive_average_time_ms": self.naive_average_time_ms,
+            "gpu_only_time_ms": self.gpu_only_time_ms,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "BaselineComparison":
+        naive_avg_t = record["naive_average_threshold"]
+        naive_avg_ms = record["naive_average_time_ms"]
+        return cls(
+            name=str(record["name"]),
+            oracle=OracleResult.from_record(record["oracle"]),
+            estimate=PartitionEstimate.from_record(record["estimate"]),
+            estimated_time_ms=float(record["estimated_time_ms"]),
+            naive_static_threshold=float(record["naive_static_threshold"]),
+            naive_static_time_ms=float(record["naive_static_time_ms"]),
+            naive_average_threshold=(
+                float(naive_avg_t) if naive_avg_t is not None else None
+            ),
+            naive_average_time_ms=(
+                float(naive_avg_ms) if naive_avg_ms is not None else None
+            ),
+            gpu_only_time_ms=float(record["gpu_only_time_ms"]),
+        )
+
 
 def compare_with_baselines(
     problem: PartitionProblem,

@@ -60,6 +60,32 @@ class PartitionEstimate:
             raise ValidationError("total time must be positive")
         return 100.0 * self.estimation_cost_ms / total
 
+    # -- persistence (repro.engine.cache) ----------------------------------
+
+    def to_record(self) -> dict:
+        """A JSON-safe dict that round-trips via :meth:`from_record`."""
+        return {
+            "threshold": self.threshold,
+            "sample_threshold": self.sample_threshold,
+            "sample_size": self.sample_size,
+            "estimation_cost_ms": self.estimation_cost_ms,
+            "searches": [s.to_record() for s in self.searches],
+            "extrapolator": self.extrapolator,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "PartitionEstimate":
+        return cls(
+            threshold=float(record["threshold"]),
+            sample_threshold=float(record["sample_threshold"]),
+            sample_size=int(record["sample_size"]),
+            estimation_cost_ms=float(record["estimation_cost_ms"]),
+            searches=tuple(
+                SearchResult.from_record(s) for s in record["searches"]
+            ),
+            extrapolator=str(record["extrapolator"]),
+        )
+
 
 class SamplingPartitioner:
     """Sampling-based work partitioning (the paper's Section II framework).

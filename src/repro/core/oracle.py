@@ -5,14 +5,24 @@ possible threshold obtained via an exhaustive search" — a full sweep of the
 threshold grid on the *full* input.  The oracle also reports what that sweep
 would have cost on the simulated clock, which is the number that makes the
 paper's case: the sweep costs two orders of magnitude more than one run.
+
+The sweep is embarrassingly parallel across grid points, so
+:func:`exhaustive_oracle` optionally fans the per-threshold evaluations out
+over a :class:`repro.engine.parallel.ParallelMap`.  The parallel path
+reassembles the evaluation log in grid order and applies the same
+first-strict-minimum tie-breaking and left-fold cost sum as the serial
+sweep, so both paths return bit-identical results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.problem import PartitionProblem
 from repro.core.search import ExhaustiveSearch, SearchResult
+from repro.util.errors import SearchError
 
 
 @dataclass(frozen=True)
@@ -32,9 +42,48 @@ class OracleResult:
             return float("inf")
         return self.search_cost_ms / self.best_time_ms
 
+    # -- persistence (repro.engine.cache) ----------------------------------
 
-def exhaustive_oracle(problem: PartitionProblem) -> OracleResult:
-    """Sweep the full grid on the full input; exact but impractical."""
+    def to_record(self) -> dict:
+        """A JSON-safe dict that round-trips via :meth:`from_record`."""
+        return {
+            "threshold": self.threshold,
+            "best_time_ms": self.best_time_ms,
+            "search_cost_ms": self.search_cost_ms,
+            "n_evaluations": self.n_evaluations,
+            "evaluations": [[t, ms] for t, ms in self.evaluations],
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "OracleResult":
+        return cls(
+            threshold=float(record["threshold"]),
+            best_time_ms=float(record["best_time_ms"]),
+            search_cost_ms=float(record["search_cost_ms"]),
+            n_evaluations=int(record["n_evaluations"]),
+            evaluations=tuple(
+                (float(t), float(ms)) for t, ms in record["evaluations"]
+            ),
+        )
+
+
+def _evaluate_thresholds(args: tuple[PartitionProblem, list[float]]) -> list[tuple[float, float]]:
+    """One worker's share of the sweep: probe a contiguous grid chunk."""
+    problem, thresholds = args
+    return [(t, problem.evaluate_ms(t)) for t in thresholds]
+
+
+def exhaustive_oracle(
+    problem: PartitionProblem, parallel_map=None
+) -> OracleResult:
+    """Sweep the full grid on the full input; exact but impractical.
+
+    With a *parallel_map* (``repro.engine.parallel.ParallelMap``) of more
+    than one worker, the per-threshold evaluations fan out over contiguous
+    grid chunks; the result is bit-identical to the serial sweep.
+    """
+    if parallel_map is not None and parallel_map.workers > 1:
+        return _parallel_oracle(problem, parallel_map)
     result: SearchResult = ExhaustiveSearch().minimize(problem)
     return OracleResult(
         threshold=result.threshold,
@@ -42,4 +91,33 @@ def exhaustive_oracle(problem: PartitionProblem) -> OracleResult:
         search_cost_ms=result.cost_ms,
         n_evaluations=result.n_evaluations,
         evaluations=result.evaluations,
+    )
+
+
+def _parallel_oracle(problem: PartitionProblem, parallel_map) -> OracleResult:
+    """The fan-out sweep: chunk the grid, probe chunks in workers, merge."""
+    from repro.engine.parallel import chunked
+
+    grid = np.asarray(problem.threshold_grid(), dtype=np.float64)
+    if grid.size == 0:
+        raise SearchError("empty threshold grid")
+    thresholds = [float(t) for t in grid]
+    # A few chunks per worker amortizes per-task pickling of the problem
+    # while keeping the pool busy even when chunk costs are uneven.
+    chunks = chunked(thresholds, parallel_map.workers * 4)
+    logs = parallel_map.map(_evaluate_thresholds, [(problem, c) for c in chunks])
+    log = [pair for chunk_log in logs for pair in chunk_log]
+    # Identical reduction to ExhaustiveSearch.minimize: first strict
+    # minimum in grid order, cost as the left-fold sum in grid order.
+    best_t = thresholds[0]
+    best_ms = float("inf")
+    for t, ms in log:
+        if ms < best_ms:
+            best_t, best_ms = t, ms
+    return OracleResult(
+        threshold=best_t,
+        best_time_ms=best_ms,
+        search_cost_ms=float(sum(ms for _, ms in log)),
+        n_evaluations=len(log),
+        evaluations=tuple(log),
     )

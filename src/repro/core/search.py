@@ -60,6 +60,30 @@ class SearchResult:
     def n_evaluations(self) -> int:
         return len(self.evaluations)
 
+    # -- persistence (repro.engine.cache) ----------------------------------
+
+    def to_record(self) -> dict:
+        """A JSON-safe dict that round-trips via :meth:`from_record`."""
+        return {
+            "threshold": self.threshold,
+            "value_ms": self.value_ms,
+            "evaluations": [[t, ms] for t, ms in self.evaluations],
+            "cost_ms": self.cost_ms,
+            "extra_cost_ms": self.extra_cost_ms,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "SearchResult":
+        return cls(
+            threshold=float(record["threshold"]),
+            value_ms=float(record["value_ms"]),
+            evaluations=tuple(
+                (float(t), float(ms)) for t, ms in record["evaluations"]
+            ),
+            cost_ms=float(record["cost_ms"]),
+            extra_cost_ms=float(record.get("extra_cost_ms", 0.0)),
+        )
+
 
 class SearchStrategy:
     """Base class: subclasses implement :meth:`minimize`."""

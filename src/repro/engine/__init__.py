@@ -1,0 +1,43 @@
+"""``repro.engine`` — parallel execution + persistent result caching.
+
+The experiment harness's scaling layer (docs/ENGINE.md):
+
+* :class:`~repro.engine.parallel.ParallelMap` — order-preserving map with
+  serial and process-pool backends; every payload is self-seeding, so
+  ``workers=N`` runs are bit-identical to serial runs.
+* :class:`~repro.engine.cache.ResultCache` — content-addressed on-disk
+  JSON records keyed by config/dataset/strategy fields plus a
+  code-version salt (any salted source edit invalidates).
+* :class:`~repro.engine.engine.Engine` — fuses the two:
+  :meth:`~repro.engine.engine.Engine.cached_map` computes only cache
+  misses, in parallel, and accounts hits/misses/evaluations.
+"""
+
+from repro.engine.cache import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    code_version_salt,
+    fingerprint,
+)
+from repro.engine.engine import (
+    Engine,
+    EngineStats,
+    aggregate_stats,
+    get_engine,
+    shutdown_engines,
+)
+from repro.engine.parallel import ParallelMap, chunked
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "Engine",
+    "EngineStats",
+    "ParallelMap",
+    "ResultCache",
+    "aggregate_stats",
+    "chunked",
+    "code_version_salt",
+    "fingerprint",
+    "get_engine",
+    "shutdown_engines",
+]

@@ -1,0 +1,169 @@
+"""Content-addressed on-disk result cache.
+
+Experiment results are pure functions of (input configuration, code).  The
+cache therefore keys every record by a SHA-256 *fingerprint* of
+
+* the caller-supplied key fields — config scale / seed / dataset
+  restriction, dataset name, problem class, search-strategy descriptor,
+  unit coordinates (sample size, draw, ...) as applicable — and
+* a *code-version salt* hashed over the source of every package that can
+  influence a simulated result (``repro/core``, ``repro/hetero``,
+  ``repro/platform``, ``repro/sparse``, ``repro/graphs``,
+  ``repro/workloads``, ``repro/util``, ``repro/experiments``).
+
+Editing any of those sources changes the salt and silently invalidates
+every prior record — stale results cannot survive a code change, and no
+manual version bump is needed.  Records are JSON (``json.dumps`` round-
+trips doubles exactly via shortest-repr, so cached and freshly computed
+runs render byte-identically); writes are atomic (temp file + rename) so
+concurrent runs sharing a cache directory never observe torn records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from functools import lru_cache
+from pathlib import Path
+
+#: Package directories (relative to ``src/repro``) whose sources feed the
+#: code-version salt.  ``engine`` and ``analysis`` are deliberately absent:
+#: they orchestrate and validate but never change a simulated number.
+SALTED_PACKAGES = (
+    "__init__.py",
+    "core",
+    "graphs",
+    "hetero",
+    "platform",
+    "sparse",
+    "util",
+    "workloads",
+    "experiments",
+)
+
+#: Bump to invalidate every cache without touching salted sources (e.g. a
+#: record-schema change inside the engine itself).
+CACHE_SCHEMA_VERSION = 1
+
+
+@lru_cache(maxsize=1)
+def code_version_salt() -> str:
+    """Hex digest over the salted package sources (memoized per process)."""
+    import repro
+
+    root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    digest.update(f"schema={CACHE_SCHEMA_VERSION}".encode())
+    for rel in SALTED_PACKAGES:
+        path = root / rel
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for file in files:
+            if not file.exists():
+                continue
+            digest.update(str(file.relative_to(root)).encode())
+            digest.update(b"\x00")
+            digest.update(file.read_bytes())
+            digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def fingerprint(fields: dict) -> str:
+    """SHA-256 of the canonical JSON encoding of *fields*.
+
+    Key order is canonicalized, so logically equal field mappings produce
+    the same fingerprint; non-JSON values fall back to ``str()``.
+    """
+    canonical = json.dumps(
+        fields, sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class ResultCache:
+    """One directory of ``<fingerprint>.json`` records.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created on first write).
+    salt:
+        Override the code-version salt (tests use fixed salts; production
+        callers leave the default so code edits invalidate).
+    """
+
+    def __init__(self, root: str | Path, salt: str | None = None) -> None:
+        self.root = Path(root)
+        self.salt = salt if salt is not None else code_version_salt()
+
+    def key(self, fields: dict) -> str:
+        """Fingerprint of *fields* plus the code-version salt."""
+        return fingerprint({**fields, "__salt__": self.salt})
+
+    def path(self, fields: dict) -> Path:
+        return self.root / f"{self.key(fields)}.json"
+
+    def get(self, fields: dict) -> dict | None:
+        """The stored record for *fields*, or ``None`` (miss).
+
+        Unreadable/corrupt records count as misses: the caller recomputes
+        and the subsequent :meth:`put` repairs the entry.
+        """
+        path = self.path(fields)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        record = entry.get("record") if isinstance(entry, dict) else None
+        return record if isinstance(record, dict) else None
+
+    def put(self, fields: dict, record: dict) -> None:
+        """Store *record* under *fields* atomically.
+
+        The key fields are stored alongside the record so cache entries
+        stay debuggable (``cat <key>.json`` explains what produced it).
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path(fields)
+        payload = json.dumps(
+            {"fields": {k: _jsonable(v) for k, v in fields.items()}, "record": record}
+        )
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(self.root), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp_name, path)
+        except OSError:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every record; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for file in self.root.glob("*.json"):
+                try:
+                    file.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json")) if self.root.is_dir() else 0
+
+
+def _jsonable(value: object) -> object:
+    """Coerce a key-field value into something JSON can hold verbatim."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)

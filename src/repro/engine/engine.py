@@ -1,0 +1,181 @@
+"""The execution engine: parallel fan-out fused with the result cache.
+
+:class:`Engine` owns one :class:`~repro.engine.parallel.ParallelMap` and
+(optionally) one :class:`~repro.engine.cache.ResultCache`, and exposes the
+one composite operation every study needs — :meth:`Engine.cached_map`:
+look units up in the cache, compute only the misses (in parallel), store
+what was computed, and return everything in input order.
+
+Engines are shared per ``(workers, cache directory)`` via
+:func:`get_engine`, so one CLI invocation running several experiments
+reuses a single worker pool and accumulates one set of hit/miss counters
+(:func:`aggregate_stats` feeds the run summary and the benchmark report).
+"""
+
+from __future__ import annotations
+
+import atexit
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence, TypeVar
+
+from repro.engine.cache import ResultCache
+from repro.engine.parallel import ParallelMap
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+@dataclass
+class EngineStats:
+    """Counters one engine accumulates across :meth:`Engine.cached_map` calls.
+
+    ``computed_evaluations`` counts *problem evaluations* (threshold
+    probes) performed for cache misses, as reported by the caller's
+    ``count`` hook — the number the determinism suite pins to zero for a
+    warm-cache run.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    computed_evaluations: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "computed_evaluations": self.computed_evaluations,
+        }
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class Engine:
+    """Parallel execution + caching for experiment units."""
+
+    workers: int = 1
+    cache: ResultCache | None = None
+    stats: EngineStats = field(default_factory=EngineStats)
+
+    def __post_init__(self) -> None:
+        self.parallel_map = ParallelMap(self.workers)
+
+    def close(self) -> None:
+        self.parallel_map.close()
+
+    def cached_map(
+        self,
+        fn: Callable[[_T], _R],
+        payloads: Sequence[_T],
+        key_fields: Sequence[dict] | None = None,
+        encode: Callable[[_R], dict] | None = None,
+        decode: Callable[[dict], _R] | None = None,
+        count: Callable[[_R], int] | None = None,
+        parallel: bool = True,
+    ) -> list[_R]:
+        """``[fn(p) for p in payloads]`` with caching and fan-out.
+
+        Parameters
+        ----------
+        fn:
+            Unit of work.  With ``parallel=True`` it must be module-level
+            and payloads/results picklable (it crosses a process
+            boundary); with ``parallel=False`` it runs in-process — the
+            mode for callers whose *fn* itself fans out (the exhaustive
+            oracle's per-threshold sweep).
+        key_fields:
+            Per-payload cache-key field mappings, aligned with
+            *payloads*; ``None`` (or a ``None`` element) disables caching
+            for the batch (or that unit).
+        encode / decode:
+            Result <-> JSON-record converters (identity when omitted —
+            the result must then itself be a JSON-safe ``dict``).
+        count:
+            Maps a *freshly computed* result to its problem-evaluation
+            count for :attr:`EngineStats.computed_evaluations`.
+        """
+        payloads = list(payloads)
+        keys: list[dict | None] = (
+            list(key_fields) if key_fields is not None else [None] * len(payloads)
+        )
+        if len(keys) != len(payloads):
+            raise ValueError(
+                f"key_fields length {len(keys)} != payloads length {len(payloads)}"
+            )
+        results: list[_R | None] = [None] * len(payloads)
+        missing: list[int] = []
+        for i, fields in enumerate(keys):
+            record = (
+                self.cache.get(fields)
+                if (self.cache is not None and fields is not None)
+                else None
+            )
+            if record is not None:
+                results[i] = decode(record) if decode is not None else record
+                self.stats.hits += 1
+            else:
+                missing.append(i)
+                if self.cache is not None and fields is not None:
+                    self.stats.misses += 1
+        if missing:
+            if parallel:
+                computed = self.parallel_map.map(fn, [payloads[i] for i in missing])
+            else:
+                computed = [fn(payloads[i]) for i in missing]
+            for i, result in zip(missing, computed):
+                results[i] = result
+                if count is not None:
+                    self.stats.computed_evaluations += int(count(result))
+                if self.cache is not None and keys[i] is not None:
+                    record = encode(result) if encode is not None else result
+                    self.cache.put(keys[i], record)
+                    self.stats.stores += 1
+        return results  # type: ignore[return-value]
+
+
+#: Shared engines, keyed by (workers, resolved cache directory or None).
+_ENGINES: dict[tuple[int, str | None], Engine] = {}
+
+
+def get_engine(workers: int = 1, cache_dir: str | None = None) -> Engine:
+    """The shared engine for ``(workers, cache_dir)`` (created on demand)."""
+    resolved = str(Path(cache_dir).resolve()) if cache_dir is not None else None
+    key = (workers, resolved)
+    engine = _ENGINES.get(key)
+    if engine is None:
+        cache = ResultCache(resolved) if resolved is not None else None
+        engine = Engine(workers=workers, cache=cache)
+        _ENGINES[key] = engine
+    return engine
+
+
+def aggregate_stats() -> dict:
+    """Counters summed over every engine this process created."""
+    total = EngineStats()
+    max_workers = 0
+    for engine in _ENGINES.values():
+        total.hits += engine.stats.hits
+        total.misses += engine.stats.misses
+        total.stores += engine.stats.stores
+        total.computed_evaluations += engine.stats.computed_evaluations
+        max_workers = max(max_workers, engine.workers)
+    return {**total.snapshot(), "hit_rate": total.hit_rate, "workers": max_workers}
+
+
+def shutdown_engines() -> None:
+    """Close every shared engine's worker pool and forget them (tests)."""
+    for engine in _ENGINES.values():
+        engine.close()
+    _ENGINES.clear()
+
+
+# Shared pools must not outlive the interpreter's orderly shutdown phase:
+# an executor reaped by garbage collection during finalization raises a
+# noisy (harmless) "Exception ignored" from its weakref callback.
+atexit.register(shutdown_engines)

@@ -1,0 +1,129 @@
+"""Ordered fan-out over picklable tasks.
+
+:class:`ParallelMap` is the engine's single parallelism primitive: an
+order-preserving ``map`` with two backends — in-process serial execution
+(``workers <= 1``) and a :class:`concurrent.futures.ProcessPoolExecutor`
+(``workers > 1``).  Everything above it (the exhaustive oracle's
+per-threshold sweep, the per-dataset study loop, the sensitivity grids) is
+embarrassingly parallel, so one primitive suffices.
+
+Determinism contract
+--------------------
+Results come back in input order regardless of backend or completion
+order, and every task payload must be *self-seeding*: any randomness it
+consumes travels inside the payload (a generator seeded via
+:func:`repro.util.rng.stable_seed`), never through shared state.  Under
+that contract a ``workers=N`` run is bit-identical to the serial run —
+the property the determinism suite (``tests/test_engine_determinism.py``)
+locks down.
+
+Task functions handed to the process backend must be module-level
+(picklable by reference); payloads and results must pickle.  If the host
+cannot start a process pool at all (restricted sandboxes), the map
+degrades to the serial backend rather than failing the run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def chunked(items: Sequence[_T], n_chunks: int) -> list[list[_T]]:
+    """Split *items* into at most *n_chunks* contiguous, order-preserving
+    chunks of near-equal length (no empty chunks).
+
+    Contiguity matters: callers that re-concatenate chunk results recover
+    the original order, so order-sensitive reductions (first-minimum
+    tie-breaking, left-fold float sums) match the serial code exactly.
+    """
+    if n_chunks < 1:
+        raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+    items = list(items)
+    n_chunks = min(n_chunks, len(items))
+    if n_chunks == 0:
+        return []
+    size, rem = divmod(len(items), n_chunks)
+    chunks: list[list[_T]] = []
+    start = 0
+    for i in range(n_chunks):
+        stop = start + size + (1 if i < rem else 0)
+        chunks.append(items[start:stop])
+        start = stop
+    return chunks
+
+
+class ParallelMap:
+    """Order-preserving map with a serial or process-pool backend.
+
+    Parameters
+    ----------
+    workers:
+        ``1`` (default) runs tasks in-process; ``N > 1`` fans out over a
+        lazily created pool of ``N`` worker processes.  The pool is reused
+        across calls and shut down via :meth:`close`.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._executor = None
+        self._pool_broken = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _pool(self):
+        """The shared executor, or ``None`` when unavailable."""
+        if self.workers <= 1 or self._pool_broken:
+            return None
+        if self._executor is None:
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+
+                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            except (OSError, ImportError, NotImplementedError):
+                # Hosts without working multiprocessing primitives (some
+                # sandboxes) fall back to the serial backend for good.
+                self._pool_broken = True
+                return None
+        return self._executor
+
+    def close(self) -> None:
+        """Shut the worker pool down (no-op for the serial backend)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    # -- the primitive -----------------------------------------------------
+
+    def map(self, fn: Callable[[_T], _R], payloads: Sequence[_T]) -> list[_R]:
+        """Apply *fn* to every payload; results in payload order.
+
+        With the process backend, *fn* must be a module-level function and
+        payloads/results must pickle.  A pool that breaks mid-flight (a
+        worker killed by the OS) retries the whole batch serially so the
+        caller still gets a complete, correct result.
+        """
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        executor = self._pool()
+        if executor is None:
+            return [fn(p) for p in payloads]
+        try:
+            return list(executor.map(fn, payloads))
+        except BrokenPipeError:
+            self._pool_broken = True
+            self.close()
+            return [fn(p) for p in payloads]
+        except Exception as exc:  # BrokenProcessPool, pickling errors, ...
+            from concurrent.futures.process import BrokenProcessPool
+
+            if isinstance(exc, BrokenProcessPool):
+                self._pool_broken = True
+                self.close()
+                return [fn(p) for p in payloads]
+            raise

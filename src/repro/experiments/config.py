@@ -5,17 +5,26 @@ One :class:`ExperimentConfig` drives every experiment: the dataset scale
 restriction.  The simulated machine's *fixed* time constants shrink by the
 same scale so overhead ratios match the full-size testbed (see
 :func:`repro.platform.machine.paper_testbed`).
+
+The config also selects the execution engine (``repro.engine``): *workers*
+picks the parallel backend and *cache_dir* the persistent result cache.
+Neither changes any computed number — parallel runs are bit-identical to
+serial runs, and cached records replay exactly what a cold run produces.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import TYPE_CHECKING
 
 from repro.platform.machine import HeterogeneousMachine, paper_testbed
 from repro.util.errors import ValidationError
 from repro.workloads.dataset import Dataset
 from repro.workloads.suite import DEFAULT_SCALE, load_dataset
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.engine import Engine
 
 
 @dataclass(frozen=True)
@@ -38,6 +47,13 @@ class ExperimentConfig:
         every threshold a study reports (see
         :func:`repro.platform.trace.validate_timeline`).  Off by default —
         the checks are O(spans log spans) per evaluated threshold.
+    workers:
+        Parallel fan-out width for the execution engine: ``1`` (default)
+        runs serially in-process, ``N > 1`` uses a process pool.  Results
+        are bit-identical either way.
+    cache_dir:
+        Directory of the persistent result cache; ``None`` (default)
+        disables caching.  Warm records replay byte-identically.
     """
 
     scale: float = DEFAULT_SCALE
@@ -45,12 +61,16 @@ class ExperimentConfig:
     datasets: tuple[str, ...] | None = None
     repeats: int = 1
     validate_traces: bool = False
+    workers: int = 1
+    cache_dir: str | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.scale <= 1.0:
             raise ValidationError(f"scale must be in (0, 1], got {self.scale}")
         if self.repeats < 1:
             raise ValidationError("repeats must be >= 1")
+        if self.workers < 1:
+            raise ValidationError(f"workers must be >= 1, got {self.workers}")
 
     def machine(self) -> HeterogeneousMachine:
         """The simulated testbed at this config's time scale."""
@@ -59,6 +79,21 @@ class ExperimentConfig:
     def dataset(self, name: str) -> Dataset:
         """Load (cached) the scaled analog of Table II entry *name*."""
         return _cached_dataset(name, self.scale)
+
+    def engine(self) -> "Engine":
+        """The shared execution engine for this config's workers/cache."""
+        from repro.engine import get_engine
+
+        return get_engine(workers=self.workers, cache_dir=self.cache_dir)
+
+    def cache_fields(self) -> dict:
+        """Key fields every cache record derived from this config shares."""
+        return {
+            "scale": self.scale,
+            "seed": self.seed,
+            "repeats": self.repeats,
+            "datasets": list(self.datasets) if self.datasets is not None else None,
+        }
 
     def select(self, default_names: list[str]) -> list[str]:
         """Dataset names for an experiment, honoring the restriction.

@@ -46,6 +46,8 @@ def run(config: ExperimentConfig | None = None) -> ExperimentReport:
             sizes,
             draws=3,
             validate_traces=config.validate_traces,
+            engine=config.engine(),
+            cache_fields={"study": "fig6", "scale": config.scale, "seed": config.seed},
         )
         table_rows = tuple(
             (

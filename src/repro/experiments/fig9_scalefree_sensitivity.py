@@ -51,7 +51,12 @@ def run(config: ExperimentConfig | None = None) -> ExperimentReport:
             )
 
         rows = sensitivity_sweep(
-            problem, partitioner_for, sizes, validate_traces=config.validate_traces
+            problem,
+            partitioner_for,
+            sizes,
+            validate_traces=config.validate_traces,
+            engine=config.engine(),
+            cache_fields={"study": "fig9", "scale": config.scale, "seed": config.seed},
         )
         table_rows = tuple(
             (

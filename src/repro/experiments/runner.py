@@ -4,6 +4,19 @@ The three case studies (Figures 3, 5, 8 — and Table I, which aggregates
 them) all follow the same protocol per dataset: run the exhaustive oracle,
 the sampling estimate, and the baselines, with the NaiveAverage computed
 across the whole suite first.  This module implements that protocol once.
+
+Execution goes through the config's :class:`repro.engine.Engine`:
+
+* the exhaustive oracle fans its per-threshold evaluations out over the
+  engine's worker pool (see :func:`repro.core.oracle.exhaustive_oracle`);
+* the per-dataset estimate/baseline pass fans out across datasets;
+* the sensitivity grids (Figures 4/6/9) fan out across their
+  (sample size, draw) units.
+
+Every unit is *self-seeding* — its randomness derives from
+:func:`repro.util.rng.stable_seed` over (seed, study, dataset, ...) inside
+the payload — so parallel runs are bit-identical to serial runs.  Finished
+units are stored in the engine's result cache and replayed on warm runs.
 """
 
 from __future__ import annotations
@@ -25,6 +38,7 @@ from repro.core.search import (
     GradientDescentSearch,
     RaceCoarseSearch,
 )
+from repro.engine import Engine
 from repro.experiments.config import ExperimentConfig
 from repro.hetero.cc import CcProblem
 from repro.hetero.hh_cpu import HhCpuProblem
@@ -106,6 +120,92 @@ def hh_partitioner(config: ExperimentConfig, name: str, sample_size: int | None 
     )
 
 
+# -- engine task functions (module-level: they cross process boundaries) ---
+
+
+def _comparison_task(
+    args: tuple[PartitionProblem, SamplingPartitioner, float | None, OracleResult],
+) -> BaselineComparison:
+    """One dataset's estimate + baselines (the Figure 3/5/8 row)."""
+    problem, partitioner, naive_avg, oracle = args
+    return compare_with_baselines(
+        problem, partitioner, naive_average=naive_avg, oracle=oracle
+    )
+
+
+def _sweep_task(
+    args: tuple[PartitionProblem, SamplingPartitioner, float, float],
+) -> dict:
+    """One sensitivity unit: estimate at a (size, draw), price Phase II."""
+    problem, partitioner, lo, hi = args
+    estimate = partitioner.estimate(problem)
+    threshold = min(max(estimate.threshold, lo), hi)
+    return {
+        "estimation_ms": estimate.estimation_cost_ms,
+        "threshold": threshold,
+        "phase2_ms": problem.evaluate_ms(threshold),
+        "n_evaluations": sum(s.n_evaluations for s in estimate.searches),
+    }
+
+
+# -- cache key builders ----------------------------------------------------
+
+
+def _strategy_label(partitioner: SamplingPartitioner) -> str:
+    """Cache-key descriptor of the identify setup.
+
+    Strategy *parameters* (coarse steps, fine radii, ...) are not spelled
+    out here: they are source constants, so the cache's code-version salt
+    already invalidates on any change to them.
+    """
+    return (
+        f"{type(partitioner.search).__name__}"
+        f"(sample_size={partitioner.sample_size},repeats={partitioner.repeats})"
+    )
+
+
+def _oracle_key(config: ExperimentConfig, problem: PartitionProblem) -> dict:
+    """Key fields of an exhaustive-oracle record.
+
+    The oracle consumes no randomness and no suite context — its result
+    depends only on the (scaled) dataset and the problem class — so the
+    key deliberately omits ``seed``/``datasets`` to maximize reuse across
+    configs (docs/ENGINE.md).
+    """
+    return {
+        "kind": "oracle",
+        "scale": config.scale,
+        "dataset": problem.name,
+        "problem": type(problem).__name__,
+        "strategy": "ExhaustiveSearch",
+    }
+
+
+def _comparison_key(
+    config: ExperimentConfig,
+    problem: PartitionProblem,
+    partitioner: SamplingPartitioner,
+    suite: list[str],
+) -> dict:
+    """Key fields of a per-dataset comparison record.
+
+    Includes the resolved *suite* because the NaiveAverage baseline is an
+    offline cross-dataset number: the same dataset under a different
+    restriction yields a different row.
+    """
+    return {
+        "kind": "comparison",
+        **config.cache_fields(),
+        "dataset": problem.name,
+        "problem": type(problem).__name__,
+        "strategy": _strategy_label(partitioner),
+        "suite": suite,
+    }
+
+
+# -- the study protocols ---------------------------------------------------
+
+
 def run_study(
     config: ExperimentConfig,
     names: list[str],
@@ -117,33 +217,54 @@ def run_study(
     Two passes: the oracle sweep per dataset first (it also feeds the
     NaiveAverage baseline, which the paper derives from "several rounds of
     prior exhaustive runs" across the suite), then the sampling estimate
-    and baseline evaluations.
+    and baseline evaluations.  Problems are materialized here in the
+    parent process — workers receive pickled instances and never
+    re-synthesize datasets.
     """
-    problems: list[PartitionProblem] = []
-    oracles: list[OracleResult] = []
-    for name in names:
-        problem = problem_factory(config, name)
-        problems.append(problem)
-        oracles.append(exhaustive_oracle(problem))
+    engine = config.engine()
+    problems: list[PartitionProblem] = [
+        problem_factory(config, name) for name in names
+    ]
+    # Pass 1 — oracles.  Each missing oracle runs in the parent and fans
+    # its per-threshold evaluations out over the engine's worker pool.
+    oracles: list[OracleResult] = engine.cached_map(
+        lambda problem: exhaustive_oracle(problem, parallel_map=engine.parallel_map),
+        problems,
+        key_fields=[_oracle_key(config, p) for p in problems],
+        encode=OracleResult.to_record,
+        decode=OracleResult.from_record,
+        count=lambda o: o.n_evaluations,
+        parallel=False,
+    )
     naive_avg = naive_average_threshold([o.threshold for o in oracles])
-    comparisons = []
-    for name, problem, oracle in zip(names, problems, oracles):
-        comparison = compare_with_baselines(
-            problem,
-            partitioner_factory(config, name),
-            naive_average=naive_avg,
-            oracle=oracle,
-        )
-        if config.validate_traces:
+    # Pass 2 — estimates + baselines, fanned out across datasets.  Every
+    # payload carries its own stable_seed-derived generator (built by the
+    # partitioner factory), so fan-out order cannot leak into results.
+    partitioners = [partitioner_factory(config, name) for name in names]
+    comparisons: list[BaselineComparison] = engine.cached_map(
+        _comparison_task,
+        [
+            (problem, partitioner, naive_avg, oracle)
+            for problem, partitioner, oracle in zip(problems, partitioners, oracles)
+        ],
+        key_fields=[
+            _comparison_key(config, problem, partitioner, names)
+            for problem, partitioner in zip(problems, partitioners)
+        ],
+        encode=BaselineComparison.to_record,
+        decode=BaselineComparison.from_record,
+        count=lambda c: sum(s.n_evaluations for s in c.estimate.searches),
+    )
+    if config.validate_traces:
+        for problem, comparison in zip(problems, comparisons):
             validate_reported_traces(
                 problem,
                 [
-                    oracle.threshold,
+                    comparison.oracle.threshold,
                     comparison.estimate.threshold,
                     comparison.naive_static_threshold,
                 ],
             )
-        comparisons.append(comparison)
     return comparisons
 
 
@@ -153,6 +274,8 @@ def sensitivity_sweep(
     sizes: list[int],
     draws: int = 5,
     validate_traces: bool = False,
+    engine: Engine | None = None,
+    cache_fields: dict | None = None,
 ) -> list[dict]:
     """The Figure 4/6/9 protocol: total time vs sample size.
 
@@ -161,21 +284,49 @@ def sensitivity_sweep(
     the estimated threshold, and their sum.  ``partitioner_for(size, draw)``
     supplies a configured partitioner.  With *validate_traces*, every
     estimated threshold's simulated schedule is hazard-checked.
+
+    With an *engine*, the (size, draw) units fan out over its worker pool
+    and — when *cache_fields* names the study — finished units are cached;
+    both are output-invariant because each unit's partitioner is seeded
+    from (study, dataset, size, draw).
     """
     grid = problem.threshold_grid()
     lo, hi = float(grid[0]), float(grid[-1])
+    units = [(size, draw) for size in sizes for draw in range(draws)]
+    payloads = [
+        (problem, partitioner_for(size, draw), lo, hi) for size, draw in units
+    ]
+    if engine is not None:
+        keys = None
+        if cache_fields is not None:
+            keys = [
+                {
+                    "kind": "sensitivity",
+                    **cache_fields,
+                    "dataset": problem.name,
+                    "problem": type(problem).__name__,
+                    "strategy": _strategy_label(payload[1]),
+                    "sample_size": size,
+                    "draw": draw,
+                }
+                for (size, draw), payload in zip(units, payloads)
+            ]
+        results = engine.cached_map(
+            _sweep_task,
+            payloads,
+            key_fields=keys,
+            count=lambda r: r["n_evaluations"],
+        )
+    else:
+        results = [_sweep_task(p) for p in payloads]
+    if validate_traces:
+        for result in results:
+            validate_reported_traces(problem, [result["threshold"]])
     rows = []
-    for size in sizes:
-        est_costs, phase2s = [], []
-        for draw in range(draws):
-            estimate = partitioner_for(size, draw).estimate(problem)
-            threshold = min(max(estimate.threshold, lo), hi)
-            est_costs.append(estimate.estimation_cost_ms)
-            phase2s.append(problem.evaluate_ms(threshold))
-            if validate_traces:
-                validate_reported_traces(problem, [threshold])
-        est = float(np.mean(est_costs))
-        p2 = float(np.mean(phase2s))
+    for i, size in enumerate(sizes):
+        per_draw = results[i * draws : (i + 1) * draws]
+        est = float(np.mean([r["estimation_ms"] for r in per_draw]))
+        p2 = float(np.mean([r["phase2_ms"] for r in per_draw]))
         rows.append(
             {
                 "sample_size": size,

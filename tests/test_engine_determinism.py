@@ -1,0 +1,86 @@
+"""The engine determinism suite.
+
+Two guarantees the engine must never break (ISSUE 2 acceptance criteria):
+
+* **Parallel = serial.**  ``workers=2`` runs of the Figure 3/5/8 studies
+  produce *identical* thresholds and runtimes — we assert on the full
+  rendered report, which is stricter (every cell, byte for byte).
+* **Warm = cold.**  A warm-cache run replays a cold run's output exactly,
+  with zero problem evaluations performed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import fig3_cc, fig4_cc_sensitivity, fig5_spmm, fig8_scalefree
+from repro.experiments.config import ExperimentConfig
+
+#: Tiny but structurally diverse: one banded FEM and one heavier FEM matrix,
+#: both present in all three study suites.
+BASE = ExperimentConfig(scale=1 / 256, seed=11, datasets=("cant", "pwtk"))
+
+STUDIES = {
+    "fig3": fig3_cc.run,
+    "fig5": fig5_spmm.run,
+    "fig8": fig8_scalefree.run,
+}
+
+
+class TestParallelMatchesSerial:
+    @pytest.mark.parametrize("exp_id", sorted(STUDIES))
+    def test_workers2_bit_identical(self, exp_id):
+        run = STUDIES[exp_id]
+        serial = run(BASE)
+        parallel = run(replace(BASE, workers=2))
+        assert parallel.render() == serial.render()
+        # Spell the acceptance criterion out: thresholds and runtimes match.
+        for table_s, table_p in zip(serial.tables, parallel.tables):
+            assert table_p.rows == table_s.rows
+
+    def test_fig4_sensitivity_grid_bit_identical(self):
+        config = replace(BASE, datasets=("delaunay_n22",))
+        serial = fig4_cc_sensitivity.run(config)
+        parallel = fig4_cc_sensitivity.run(replace(config, workers=2))
+        assert parallel.render() == serial.render()
+
+
+class TestWarmCacheReplaysCold:
+    def test_warm_run_identical_with_zero_evaluations(self, tmp_path):
+        config = replace(BASE, cache_dir=str(tmp_path / "cache"))
+        engine = config.engine()
+
+        cold = fig3_cc.run(config)
+        after_cold = engine.stats.snapshot()
+        assert after_cold["misses"] > 0
+        assert after_cold["computed_evaluations"] > 0
+        assert after_cold["stores"] == after_cold["misses"]
+
+        warm = fig3_cc.run(config)
+        after_warm = engine.stats.snapshot()
+        assert warm.render() == cold.render()
+        # The warm run touched the cache only: no misses, no evaluations.
+        assert after_warm["misses"] == after_cold["misses"]
+        assert (
+            after_warm["computed_evaluations"] == after_cold["computed_evaluations"]
+        )
+        assert after_warm["hits"] > after_cold["hits"]
+
+    def test_warm_cache_matches_uncached_run(self, tmp_path):
+        """Cached replay must equal what a cache-less config computes."""
+        uncached = fig3_cc.run(BASE)
+        config = replace(BASE, cache_dir=str(tmp_path / "cache"))
+        fig3_cc.run(config)  # populate
+        warm = fig3_cc.run(config)
+        assert warm.render() == uncached.render()
+
+    def test_cache_shared_across_studies(self, tmp_path):
+        """Table I re-runs the fig3 suite; its oracles must come back warm."""
+        config = replace(BASE, cache_dir=str(tmp_path / "cache"))
+        engine = config.engine()
+        fig3_cc.run(config)
+        before = engine.stats.snapshot()
+        fig3_cc.run(config)
+        assert engine.stats.snapshot()["misses"] == before["misses"]

@@ -1,0 +1,92 @@
+"""Tests for repro.engine.parallel: ordered fan-out and oracle equivalence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.oracle import exhaustive_oracle
+from repro.engine.parallel import ParallelMap, chunked
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import cc_problem, spmm_problem
+
+TINY = ExperimentConfig(scale=1 / 256)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestChunked:
+    def test_contiguous_and_order_preserving(self):
+        chunks = chunked(list(range(10)), 3)
+        assert [x for c in chunks for x in c] == list(range(10))
+        assert len(chunks) == 3
+
+    def test_near_equal_sizes(self):
+        sizes = [len(c) for c in chunked(list(range(11)), 4)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_fewer_items_than_chunks(self):
+        chunks = chunked([1, 2], 8)
+        assert chunks == [[1], [2]]
+
+    def test_empty(self):
+        assert chunked([], 4) == []
+
+    def test_rejects_zero_chunks(self):
+        with pytest.raises(ValueError):
+            chunked([1], 0)
+
+
+class TestParallelMap:
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            ParallelMap(0)
+
+    def test_serial_backend(self):
+        pmap = ParallelMap(1)
+        assert pmap.map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_process_backend_matches_serial_in_order(self):
+        pmap = ParallelMap(2)
+        try:
+            assert pmap.map(_square, list(range(20))) == [x * x for x in range(20)]
+        finally:
+            pmap.close()
+
+    def test_empty_payloads(self):
+        pmap = ParallelMap(2)
+        assert pmap.map(_square, []) == []
+        pmap.close()
+
+    def test_broken_pool_falls_back_to_serial(self):
+        pmap = ParallelMap(4)
+        pmap._pool_broken = True  # simulate a host without multiprocessing
+        assert pmap.map(_square, [2, 3]) == [4, 9]
+
+    def test_close_is_idempotent(self):
+        pmap = ParallelMap(2)
+        pmap.map(_square, [1])
+        pmap.close()
+        pmap.close()
+
+
+class TestParallelOracle:
+    """The per-threshold fan-out must be bit-identical to the serial sweep."""
+
+    @pytest.mark.parametrize("factory", [cc_problem, spmm_problem])
+    def test_bit_identical_to_serial(self, factory):
+        problem = factory(TINY, "cant")
+        serial = exhaustive_oracle(problem)
+        pmap = ParallelMap(2)
+        try:
+            parallel = exhaustive_oracle(problem, parallel_map=pmap)
+        finally:
+            pmap.close()
+        assert parallel == serial  # dataclass equality: every field, exactly
+
+    def test_serial_pmap_takes_serial_path(self):
+        problem = cc_problem(TINY, "cant")
+        assert exhaustive_oracle(problem, parallel_map=ParallelMap(1)) == (
+            exhaustive_oracle(problem)
+        )

@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Run the benchmark suite and emit a ``BENCH_<date>.json`` trajectory point.
+
+The CI ``benchmarks`` job (and anyone locally) runs::
+
+    python tools/bench_report.py --out-dir bench-out
+
+which
+
+1. runs ``pytest benchmarks/ -q`` (at the conftest's ``BENCH_SCALE``) with
+   pytest-benchmark JSON output and the engine's counter dump enabled,
+2. distills it into ``BENCH_<YYYY-MM-DD>.json``: per-benchmark wall-clock,
+   the engine's cache hit rate, and the worker count, and
+3. when a checked-in baseline exists (``benchmarks/BENCH_BASELINE.json``
+   by default), fails with exit code 2 if any benchmark's mean regressed
+   by more than ``--max-regression`` (default 25%).
+
+Exit codes: 0 OK, 1 benchmark suite failed, 2 regression detected.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_BASELINE.json"
+
+
+def run_benchmarks(pytest_args: list[str]) -> tuple[dict, dict, int]:
+    """Run pytest-benchmark; return (benchmark json, engine stats, rc)."""
+    with tempfile.TemporaryDirectory(prefix="bench-report-") as tmp:
+        bench_json = Path(tmp) / "benchmark.json"
+        stats_json = Path(tmp) / "engine-stats.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            f"{REPO_ROOT / 'src'}{os.pathsep}{env['PYTHONPATH']}"
+            if env.get("PYTHONPATH")
+            else str(REPO_ROOT / "src")
+        )
+        env["REPRO_ENGINE_STATS"] = str(stats_json)
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            "benchmarks/",
+            "-q",
+            f"--benchmark-json={bench_json}",
+            *pytest_args,
+        ]
+        print(f"$ {' '.join(cmd)}", flush=True)
+        proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+        raw = json.loads(bench_json.read_text()) if bench_json.exists() else {}
+        stats = json.loads(stats_json.read_text()) if stats_json.exists() else {}
+        return raw, stats, proc.returncode
+
+
+def distill(raw: dict, engine_stats: dict) -> dict:
+    """The trajectory point: what BENCH_<date>.json records."""
+    benchmarks = []
+    for bench in raw.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        benchmarks.append(
+            {
+                "name": bench.get("fullname", bench.get("name", "?")),
+                "mean_s": stats.get("mean"),
+                "min_s": stats.get("min"),
+                "stddev_s": stats.get("stddev"),
+                "rounds": stats.get("rounds"),
+            }
+        )
+    benchmarks.sort(key=lambda b: b["name"])
+    commit = raw.get("commit_info", {}).get("id")
+    hits = int(engine_stats.get("hits", 0))
+    misses = int(engine_stats.get("misses", 0))
+    return {
+        "date": datetime.date.today().isoformat(),
+        "commit": commit,
+        "python": sys.version.split()[0],
+        "workers": int(engine_stats.get("workers", 1)),
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / (hits + misses) if (hits + misses) else 0.0,
+        },
+        "benchmarks": benchmarks,
+    }
+
+
+def check_regressions(
+    report: dict, baseline: dict, max_regression: float
+) -> list[str]:
+    """Benchmarks whose mean regressed past the threshold vs the baseline."""
+    base_means = {
+        b["name"]: b.get("mean_s")
+        for b in baseline.get("benchmarks", [])
+        if b.get("mean_s")
+    }
+    failures = []
+    for bench in report["benchmarks"]:
+        name, mean_s = bench["name"], bench.get("mean_s")
+        base = base_means.get(name)
+        if base is None or mean_s is None:
+            continue
+        ratio = mean_s / base
+        if ratio > 1.0 + max_regression:
+            failures.append(
+                f"{name}: {mean_s:.4f}s vs baseline {base:.4f}s "
+                f"({100 * (ratio - 1):.1f}% slower, limit "
+                f"{100 * max_regression:.0f}%)"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out-dir",
+        type=Path,
+        default=REPO_ROOT,
+        help="where to write BENCH_<date>.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"baseline report to gate against (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional mean-time regression (default: 0.25)",
+    )
+    parser.add_argument(
+        "pytest_args",
+        nargs="*",
+        help="extra arguments forwarded to pytest (after --)",
+    )
+    args = parser.parse_args(argv)
+
+    raw, engine_stats, rc = run_benchmarks(args.pytest_args)
+    if rc != 0:
+        print(f"benchmark suite failed (pytest exit {rc})", file=sys.stderr)
+        return 1
+
+    report = distill(raw, engine_stats)
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = args.out_dir / f"BENCH_{report['date']}.json"
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    cache = report["cache"]
+    print(
+        f"engine: workers={report['workers']}, cache {cache['hits']} hit(s) / "
+        f"{cache['misses']} miss(es) ({100 * cache['hit_rate']:.1f}% hit rate)"
+    )
+
+    if args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text())
+        failures = check_regressions(report, baseline, args.max_regression)
+        if failures:
+            print("benchmark regressions detected:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 2
+        print(f"no regressions vs {args.baseline}")
+    else:
+        print(f"no baseline at {args.baseline}; regression gate skipped")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

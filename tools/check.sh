@@ -1,20 +1,30 @@
 #!/usr/bin/env bash
-# Local gate, mirroring .github/workflows/ci.yml: the repo-invariant lint
-# followed by the tier-1 test suite.  Run from the repository root:
+# Local gate, mirroring .github/workflows/ci.yml step for step: the
+# repo-invariant lint (src/repro, which includes the src/repro/engine
+# package), the engine test suite, then the full tier-1 test suite.
+# Run from the repository root:
 #
-#     tools/check.sh            # lint + tests
+#     tools/check.sh            # lint + engine tests + tier-1 tests
 #     tools/check.sh --lint-only
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== repro.analysis lint =="
+echo "== repro.analysis lint (src/repro, incl. src/repro/engine) =="
+test -d src/repro/engine  # the engine package must exist and be linted
 python -m repro.analysis lint src/repro
 
 if [[ "${1:-}" == "--lint-only" ]]; then
     exit 0
 fi
+
+echo
+echo "== engine tests =="
+python -m pytest -x -q \
+    tests/test_engine_parallel.py \
+    tests/test_engine_cache.py \
+    tests/test_engine_determinism.py
 
 echo
 echo "== tier-1 tests =="
