@@ -49,7 +49,7 @@ def main() -> None:
             f"  [{span.start_ms:8.3f} .. {span.end_ms:8.3f}] {span.resource:5s} {span.label}"
         )
 
-    from repro.platform import render_gantt, utilization
+    from repro.obs import render_gantt, utilization
 
     print("\n" + render_gantt(tl, width=56))
     for res, u in utilization(tl).items():

@@ -16,7 +16,7 @@ Run: ``python examples/multiway_partitioning.py``
 from repro import CcProblem, exhaustive_oracle, load_dataset, paper_testbed
 from repro.graphs.components import components_union_find, count_components
 from repro.hetero import MultiwayCcProblem, coordinate_descent
-from repro.platform import render_gantt
+from repro.obs import render_gantt
 
 SCALE = 1 / 32
 

@@ -44,6 +44,16 @@ Subpackages
 ``repro.analysis``
     Static analysis: the repo-invariant linter and the schedule hazard
     detector (``python -m repro.analysis``); see docs/ANALYSIS.md.
+``repro.engine``
+    Parallel fan-out + persistent result caching behind the harness
+    (:func:`get_engine`, :class:`ResultCache`); see docs/ENGINE.md.
+``repro.obs``
+    Observability: span tracing, metrics, Chrome-trace export
+    (``python -m repro.obs``); see docs/OBSERVABILITY.md.
+
+The names re-exported here (see ``__all__``) are the library's stable
+public API; anything else may move between releases (old locations keep
+working for a deprecation cycle, as ``repro.platform.trace`` does now).
 """
 
 from repro.core import (
@@ -55,6 +65,7 @@ from repro.core import (
     CoarseToFineSearch,
     RaceCoarseSearch,
     GradientDescentSearch,
+    SearchResult,
     IdentityExtrapolator,
     SquareLawExtrapolator,
     ScaleExtrapolator,
@@ -65,6 +76,12 @@ from repro.core import (
     naive_average_threshold,
     compare_with_baselines,
     BaselineComparison,
+)
+from repro.engine import Engine, ResultCache, get_engine
+from repro.obs import (
+    get_metrics,
+    get_tracer,
+    validate_timeline,
 )
 from repro.hetero import (
     CcProblem,
@@ -87,7 +104,26 @@ from repro.workloads import (
     scalefree_subset_names,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Entry points resolved lazily in :func:`__getattr__` — importing
+#: ``repro`` must stay cheap, and these pull in the experiment registry
+#: and the linter respectively.
+_LAZY_ATTRS = {
+    "run_experiments": ("repro.experiments.cli", "main"),
+    "lint_paths": ("repro.analysis", "lint_paths"),
+}
+
+
+def __getattr__(name: str):
+    target = _LAZY_ATTRS.get(name)
+    if target is not None:
+        import importlib
+
+        module_name, attr = target
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "autotune",
@@ -98,6 +134,7 @@ __all__ = [
     "CoarseToFineSearch",
     "RaceCoarseSearch",
     "GradientDescentSearch",
+    "SearchResult",
     "IdentityExtrapolator",
     "SquareLawExtrapolator",
     "ScaleExtrapolator",
@@ -122,5 +159,16 @@ __all__ = [
     "load_suite",
     "dataset_names",
     "scalefree_subset_names",
+    # execution engine (repro.engine)
+    "Engine",
+    "ResultCache",
+    "get_engine",
+    # observability (repro.obs)
+    "get_tracer",
+    "get_metrics",
+    "validate_timeline",
+    # lazy entry points
+    "run_experiments",
+    "lint_paths",
     "__version__",
 ]

@@ -33,6 +33,15 @@ Rules
     with a tolerance or restructure the test.
 ``ARG001``
     No mutable default arguments (``[]``, ``{}``, ``set()``, ...) anywhere.
+``API001``
+    Every ``repro`` package ``__init__.py`` must declare ``__all__`` and
+    list every public name it binds — top-level functions, classes,
+    assignments, and names re-exported from *other* ``repro`` modules.
+    Re-imports of the package's own submodules (``from repro.experiments
+    import fig3_cc`` inside ``repro/experiments/__init__.py``) are exempt:
+    they expose submodules, not names.  The public API surface
+    (docs/API.md) is generated from ``__all__``, so an unlisted name is an
+    undocumented export.
 
 Suppression
 -----------
@@ -59,6 +68,7 @@ RULES: dict[str, str] = {
     "UNIT001": "duration-bearing name without a unit suffix (_ms/_us/_ns/_s)",
     "FLT001": "== / != on a float expression in core/platform",
     "ARG001": "mutable default argument",
+    "API001": "public name in a repro package __init__ missing from __all__",
     "SYN001": "file does not parse",
 }
 
@@ -165,6 +175,13 @@ class _Linter(ast.NodeVisitor):
         self.is_rng_module = posix.endswith(RNG_MODULE_SUFFIX)
         self.in_sim_scope = any(f"{s}/" in posix or posix.endswith(s) for s in SIM_SCOPES)
         self.in_flt_scope = any(f"{s}/" in posix or posix.endswith(s) for s in FLT_SCOPES)
+        #: Dotted package name when this file is a repro package __init__
+        #: (e.g. ``repro.obs`` for ``src/repro/obs/__init__.py``), else None.
+        self.package: str | None = None
+        if posix.endswith("/__init__.py") or posix == "__init__.py":
+            parts = posix.split("/")[:-1]
+            if "repro" in parts:
+                self.package = ".".join(parts[parts.index("repro"):])
         self.findings: list[Finding] = []
         #: Names bound by ``from time import perf_counter`` style imports.
         self._wall_clock_aliases: dict[str, str] = {}
@@ -212,7 +229,89 @@ class _Linter(ast.NodeVisitor):
                             "generators inside functions and thread them through",
                         )
                         break
+        if self.package is not None:
+            self._check_public_api(node)
         self.generic_visit(node)
+
+    # -- package API surface (API001) --------------------------------------
+
+    def _import_source(self, stmt: ast.ImportFrom) -> str:
+        """The absolute dotted module an ImportFrom pulls names from."""
+        if stmt.level == 0:
+            return stmt.module or ""
+        assert self.package is not None
+        base = self.package.split(".")
+        # Inside a package __init__, level 1 is the package itself, each
+        # further level climbs one parent.
+        base = base[: len(base) - (stmt.level - 1)] if stmt.level > 1 else base
+        return ".".join(base + (stmt.module.split(".") if stmt.module else []))
+
+    @staticmethod
+    def _literal_all(node: ast.expr) -> list[str] | None:
+        """``__all__``'s entries when it is a list/tuple of str literals."""
+        if not isinstance(node, (ast.List, ast.Tuple)):
+            return None
+        names: list[str] = []
+        for element in node.elts:
+            if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+                return None
+            names.append(element.value)
+        return names
+
+    def _check_public_api(self, node: ast.Module) -> None:
+        """API001: public binds in a repro package __init__ vs ``__all__``."""
+        exported: list[str] | None = None
+        has_all = False
+        public: list[tuple[str, ast.AST]] = []
+        for stmt in node.body:
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                for target in targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if target.id == "__all__":
+                        has_all = True
+                        if stmt.value is not None:
+                            exported = self._literal_all(stmt.value)
+                    elif not target.id.startswith("_"):
+                        public.append((target.id, stmt))
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                if not stmt.name.startswith("_"):
+                    public.append((stmt.name, stmt))
+            elif isinstance(stmt, ast.ImportFrom):
+                source = self._import_source(stmt)
+                if not source.startswith("repro"):
+                    continue
+                if source == self.package:
+                    # Submodule re-import (exposes a module, not a name).
+                    continue
+                for alias in stmt.names:
+                    bound = alias.asname or alias.name
+                    if bound != "*" and not bound.startswith("_"):
+                        public.append((bound, stmt))
+        if not has_all:
+            if public:
+                names = ", ".join(sorted({n for n, _ in public}))
+                self._add(
+                    "API001",
+                    node,
+                    f"package __init__ binds public names ({names}) but "
+                    "declares no __all__",
+                )
+            return
+        if exported is None:
+            # __all__ exists but is not a literal list of strings; the
+            # surface cannot be checked statically.
+            return
+        listed = set(exported)
+        for name, bind_node in public:
+            if name not in listed:
+                self._add(
+                    "API001",
+                    bind_node,
+                    f"public name '{name}' is bound in {self.package}.__init__ "
+                    "but missing from __all__",
+                )
 
     # -- imports (RNG001 / SIM001 bookkeeping) -----------------------------
 

@@ -48,6 +48,26 @@ class TunedPartition:
     def overhead_percent(self) -> float:
         return self.estimate.overhead_percent(self.phase2_ms)
 
+    # -- persistence (repro.engine.cache) ----------------------------------
+
+    def to_record(self) -> dict:
+        """A JSON-safe dict that round-trips via :meth:`from_record`."""
+        return {
+            "threshold": self.threshold,
+            "phase2_ms": self.phase2_ms,
+            "estimate": self.estimate.to_record(),
+            "search_name": self.search_name,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "TunedPartition":
+        return cls(
+            threshold=float(record["threshold"]),
+            phase2_ms=float(record["phase2_ms"]),
+            estimate=PartitionEstimate.from_record(record["estimate"]),
+            search_name=str(record["search_name"]),
+        )
+
 
 def select_search(problem: PartitionProblem) -> SearchStrategy:
     """The identify strategy :func:`autotune` would use for *problem*."""

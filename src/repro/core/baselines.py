@@ -25,6 +25,8 @@ import numpy as np
 from repro.core.framework import PartitionEstimate, SamplingPartitioner
 from repro.core.oracle import OracleResult, exhaustive_oracle
 from repro.core.problem import PartitionProblem
+from repro.obs import runtime as _obs
+from repro.obs.bridge import bridge_timeline
 from repro.util.errors import ValidationError
 from repro.util.stats import absolute_percent_gap, relative_slowdown
 
@@ -144,6 +146,19 @@ def compare_with_baselines(
             extrapolator=estimate.extrapolator,
         )
     estimated_time = problem.evaluate_ms(estimate.threshold)
+    if _obs.enabled():
+        # Phase II at the estimated threshold is the run a user would pay
+        # for; record it, and bridge the simulated machine's own trace
+        # when the problem can produce one.
+        with _obs.span(
+            f"phase2/{problem.name}", cat="core", threshold=estimate.threshold
+        ) as p2_span:
+            p2_span.add_sim_ms(estimated_time)
+        timeline_fn = getattr(problem, "timeline", None)
+        if timeline_fn is not None:
+            bridge_timeline(
+                timeline_fn(estimate.threshold), f"timeline/{problem.name}"
+            )
     static_t = problem.naive_static_threshold()
     comparison = BaselineComparison(
         name=problem.name,

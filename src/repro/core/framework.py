@@ -21,6 +21,7 @@ import numpy as np
 from repro.core.extrapolate import Extrapolator, IdentityExtrapolator
 from repro.core.problem import PartitionProblem
 from repro.core.search import SearchResult, SearchStrategy
+from repro.obs import runtime as _obs
 from repro.util.errors import ValidationError
 from repro.util.rng import RngLike, as_generator
 
@@ -108,6 +109,7 @@ class SamplingPartitioner:
     def __init__(
         self,
         search: SearchStrategy,
+        *,
         extrapolator: Extrapolator | None = None,
         sample_size: int | None = None,
         repeats: int = 1,
@@ -124,51 +126,69 @@ class SamplingPartitioner:
         self.rng = as_generator(rng)
 
     def estimate(self, problem: PartitionProblem) -> PartitionEstimate:
-        """Run Sample -> Identify -> Extrapolate on *problem*."""
-        size = (
-            self.sample_size
-            if self.sample_size is not None
-            else problem.default_sample_size()
-        )
-        searches: list[SearchResult] = []
-        cost = 0.0
-        sample_thresholds: list[float] = []
-        # Problems whose threshold axis is not scale free (the scale-free
-        # spmm row-density cutoff) expose the scale information extrapolation
-        # laws need; share-type problems simply omit the hook.
-        context_fn = getattr(problem, "extrapolation_context", None)
-        context: dict = context_fn(size) if context_fn is not None else {}
-        # Identify runs are priced work-only (the sampled problem lives on an
-        # overhead-free machine); the fixed per-run launch constants the real
-        # machine would charge are accounted through run_overhead_ms.
-        overhead_fn = getattr(problem, "run_overhead_ms", None)
-        per_run_fixed = overhead_fn(size) if overhead_fn is not None else 0.0
-        for _ in range(self.repeats):
-            sub = problem.sample(size, rng=self.rng)
-            cost += problem.sampling_cost_ms(size)
-            result = self.search.minimize(sub)
-            searches.append(result)
-            # Wall-clock cost of the probes: problems whose sample decision
-            # values are not literal run times (the degree-weighted CC
-            # sample) expose probe_cost_ms; otherwise the probe cost is the
-            # sum of the evaluated times.
-            probe_cost_fn = getattr(sub, "probe_cost_ms", None)
-            # Literal (ablation) samples report real run times directly and
-            # advertise is_sample=False; their probe costs are the evaluated
-            # times themselves.
-            if probe_cost_fn is not None and getattr(sub, "is_sample", True):
-                cost += result.n_evaluations * probe_cost_fn() + result.extra_cost_ms
-            else:
-                cost += result.cost_ms
-            cost += result.n_evaluations * per_run_fixed
-            sample_thresholds.append(result.threshold)
-        sample_t = float(np.mean(sample_thresholds))
-        full_t = self.extrapolator.extrapolate(sample_t, context)
-        return PartitionEstimate(
-            threshold=full_t,
-            sample_threshold=sample_t,
-            sample_size=size,
-            estimation_cost_ms=cost,
-            searches=tuple(searches),
-            extrapolator=self.extrapolator.describe(),
-        )
+        """Run Sample -> Identify -> Extrapolate on *problem*.
+
+        When observability is enabled, the whole call is wrapped in an
+        ``estimate/<problem>`` span charged the full estimation cost, with
+        child ``sample/<problem>`` spans per repetition (the identify
+        search records its own ``search/<Strategy>`` span) and one
+        ``extrapolate/<problem>`` span; see docs/OBSERVABILITY.md.
+        """
+        with _obs.span(
+            f"estimate/{problem.name}", cat="core", repeats=self.repeats
+        ) as est_span:
+            size = (
+                self.sample_size
+                if self.sample_size is not None
+                else problem.default_sample_size()
+            )
+            searches: list[SearchResult] = []
+            cost = 0.0
+            sample_thresholds: list[float] = []
+            # Problems whose threshold axis is not scale free (the scale-free
+            # spmm row-density cutoff) expose the scale information extrapolation
+            # laws need; share-type problems simply omit the hook.
+            context_fn = getattr(problem, "extrapolation_context", None)
+            context: dict = context_fn(size) if context_fn is not None else {}
+            # Identify runs are priced work-only (the sampled problem lives on an
+            # overhead-free machine); the fixed per-run launch constants the real
+            # machine would charge are accounted through run_overhead_ms.
+            overhead_fn = getattr(problem, "run_overhead_ms", None)
+            per_run_fixed = overhead_fn(size) if overhead_fn is not None else 0.0
+            for _ in range(self.repeats):
+                with _obs.span(
+                    f"sample/{problem.name}", cat="core", sample_size=size
+                ) as sample_span:
+                    sub = problem.sample(size, rng=self.rng)
+                    sampling_ms = problem.sampling_cost_ms(size)
+                    sample_span.add_sim_ms(sampling_ms)
+                cost += sampling_ms
+                result = self.search.minimize(sub)
+                searches.append(result)
+                # Wall-clock cost of the probes: problems whose sample decision
+                # values are not literal run times (the degree-weighted CC
+                # sample) expose probe_cost_ms; otherwise the probe cost is the
+                # sum of the evaluated times.
+                probe_cost_fn = getattr(sub, "probe_cost_ms", None)
+                # Literal (ablation) samples report real run times directly and
+                # advertise is_sample=False; their probe costs are the evaluated
+                # times themselves.
+                if probe_cost_fn is not None and getattr(sub, "is_sample", True):
+                    cost += result.n_evaluations * probe_cost_fn() + result.extra_cost_ms
+                else:
+                    cost += result.cost_ms
+                cost += result.n_evaluations * per_run_fixed
+                sample_thresholds.append(result.threshold)
+            sample_t = float(np.mean(sample_thresholds))
+            with _obs.span(f"extrapolate/{problem.name}", cat="core"):
+                full_t = self.extrapolator.extrapolate(sample_t, context)
+            est_span.add_sim_ms(cost)
+            est_span.set(threshold=full_t, sample_size=size)
+            return PartitionEstimate(
+                threshold=full_t,
+                sample_threshold=sample_t,
+                sample_size=size,
+                estimation_cost_ms=cost,
+                searches=tuple(searches),
+                extrapolator=self.extrapolator.describe(),
+            )

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.problem import PartitionProblem
 from repro.core.search import ExhaustiveSearch, SearchResult
+from repro.obs import runtime as _obs
 from repro.util.errors import SearchError
 
 
@@ -80,18 +81,27 @@ def exhaustive_oracle(
 
     With a *parallel_map* (``repro.engine.parallel.ParallelMap``) of more
     than one worker, the per-threshold evaluations fan out over contiguous
-    grid chunks; the result is bit-identical to the serial sweep.
+    grid chunks; the result is bit-identical to the serial sweep.  The
+    ``oracle/<problem>`` obs span and ``oracle.evaluations`` counter are
+    recorded here — once, for either path — so serial and pooled runs
+    produce identical aggregates.
     """
-    if parallel_map is not None and parallel_map.workers > 1:
-        return _parallel_oracle(problem, parallel_map)
-    result: SearchResult = ExhaustiveSearch().minimize(problem)
-    return OracleResult(
-        threshold=result.threshold,
-        best_time_ms=result.value_ms,
-        search_cost_ms=result.cost_ms,
-        n_evaluations=result.n_evaluations,
-        evaluations=result.evaluations,
-    )
+    with _obs.span(f"oracle/{problem.name}", cat="core") as sp:
+        if parallel_map is not None and parallel_map.workers > 1:
+            oracle = _parallel_oracle(problem, parallel_map)
+        else:
+            result: SearchResult = ExhaustiveSearch().minimize(problem)
+            oracle = OracleResult(
+                threshold=result.threshold,
+                best_time_ms=result.value_ms,
+                search_cost_ms=result.cost_ms,
+                n_evaluations=result.n_evaluations,
+                evaluations=result.evaluations,
+            )
+        sp.add_sim_ms(oracle.search_cost_ms)
+        sp.set(threshold=oracle.threshold, n_evaluations=oracle.n_evaluations)
+    _obs.counter("oracle.evaluations").inc(oracle.n_evaluations)
+    return oracle
 
 
 def _parallel_oracle(problem: PartitionProblem, parallel_map) -> OracleResult:

@@ -21,11 +21,13 @@ Strategies:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.problem import PartitionProblem
+from repro.obs import runtime as _obs
 from repro.util.errors import SearchError
 
 
@@ -89,7 +91,35 @@ class SearchStrategy:
     """Base class: subclasses implement :meth:`minimize`."""
 
     def minimize(self, problem: PartitionProblem) -> SearchResult:
+        """Find the threshold minimizing ``problem.evaluate_ms``."""
         raise NotImplementedError
+
+
+def _traced(minimize_fn):
+    """Record a ``search/<Strategy>`` obs span around a minimize call.
+
+    The span charges the result's full simulated probe cost via
+    ``add_sim_ms`` and bumps the ``search.evaluations`` counter.  Applied
+    to the identify strategies only: :class:`ExhaustiveSearch` stays bare
+    because the oracle wraps *both* its serial and parallel sweeps itself
+    (see :func:`repro.core.oracle.exhaustive_oracle`), and double-counting
+    the serial path would skew the aggregates.
+    """
+
+    @functools.wraps(minimize_fn)
+    def wrapper(self: SearchStrategy, problem: PartitionProblem) -> SearchResult:
+        if not _obs.enabled():
+            return minimize_fn(self, problem)
+        with _obs.span(
+            f"search/{type(self).__name__}", cat="core", problem=problem.name
+        ) as sp:
+            result = minimize_fn(self, problem)
+            sp.add_sim_ms(result.cost_ms)
+            sp.set(threshold=result.threshold, n_evaluations=result.n_evaluations)
+        _obs.counter("search.evaluations").inc(result.n_evaluations)
+        return result
+
+    return wrapper
 
 
 def _evaluate_grid(
@@ -113,6 +143,11 @@ class ExhaustiveSearch(SearchStrategy):
     """Probe the entire grid.  Exact and expensive — the paper's strawman."""
 
     def minimize(self, problem: PartitionProblem) -> SearchResult:
+        """Probe every grid point; exact winner, full-sweep cost.
+
+        ``cost_ms`` is the sum of every probe's simulated runtime — the
+        denominator of the paper's "exhaustive search costs 100x+" claim.
+        """
         grid = np.asarray(problem.threshold_grid(), dtype=np.float64)
         log, best_t, best_ms = _evaluate_grid(problem, grid)
         return SearchResult(
@@ -132,7 +167,7 @@ class CoarseToFineSearch(SearchStrategy):
     each side of the coarse winner.
     """
 
-    def __init__(self, coarse_step: int = 8, fine_step: int = 1) -> None:
+    def __init__(self, *, coarse_step: int = 8, fine_step: int = 1) -> None:
         if coarse_step < 1 or fine_step < 1:
             raise SearchError("steps must be >= 1")
         if fine_step > coarse_step:
@@ -140,7 +175,14 @@ class CoarseToFineSearch(SearchStrategy):
         self.coarse_step = coarse_step
         self.fine_step = fine_step
 
+    @_traced
     def minimize(self, problem: PartitionProblem) -> SearchResult:
+        """Coarse stride sweep, then refine one stride around the winner.
+
+        Every probe (coarse and fine) lands in the evaluation log once;
+        fine points already probed by the coarse pass are not re-run, so
+        ``cost_ms`` charges each distinct threshold exactly once.
+        """
         grid = np.asarray(problem.threshold_grid(), dtype=np.float64)
         if grid.size == 0:
             raise SearchError("empty threshold grid")
@@ -178,13 +220,20 @@ class RaceCoarseSearch(SearchStrategy):
     without it the strategy degrades to a coarse grid sweep.
     """
 
-    def __init__(self, fine_radius: float = 4.0, fine_step: float = 1.0) -> None:
+    def __init__(self, *, fine_radius: float = 4.0, fine_step: float = 1.0) -> None:
         if fine_radius < 0 or fine_step <= 0:
             raise SearchError("fine_radius must be >= 0 and fine_step > 0")
         self.fine_radius = fine_radius
         self.fine_step = fine_step
 
+    @_traced
     def minimize(self, problem: PartitionProblem) -> SearchResult:
+        """Race the devices for a coarse split, then fine-search around it.
+
+        On problems exposing ``race_probe`` the probe's cost is carried in
+        ``extra_cost_ms`` (it is not a per-threshold evaluation); problems
+        without it fall back to a stride-8 coarse sweep.
+        """
         grid = np.asarray(problem.threshold_grid(), dtype=np.float64)
         if grid.size == 0:
             raise SearchError("empty threshold grid")
@@ -237,6 +286,7 @@ class GradientDescentSearch(SearchStrategy):
 
     def __init__(
         self,
+        *,
         initial_step: float | None = None,
         start: float | None = None,
         n_starts: int = 3,
@@ -251,7 +301,15 @@ class GradientDescentSearch(SearchStrategy):
         self.n_starts = n_starts
         self.max_evaluations = max_evaluations
 
+    @_traced
     def minimize(self, problem: PartitionProblem) -> SearchResult:
+        """Multi-start discrete descent with step halving.
+
+        Probes snap to the threshold grid and share one cache across
+        restarts, so ``cost_ms`` charges each distinct threshold once even
+        when several descents revisit it; the walk stops when the step
+        falls below the grid resolution or the evaluation budget is spent.
+        """
         grid = np.asarray(problem.threshold_grid(), dtype=np.float64)
         if grid.size == 0:
             raise SearchError("empty threshold grid")

@@ -42,6 +42,30 @@ class ThresholdDistribution:
         """Width of the percentile interval."""
         return self.high - self.low
 
+    # -- persistence (repro.engine.cache) ----------------------------------
+
+    def to_record(self) -> dict:
+        """A JSON-safe dict that round-trips via :meth:`from_record`."""
+        return {
+            "thresholds": list(self.thresholds),
+            "mean": self.mean,
+            "std": self.std,
+            "low": self.low,
+            "high": self.high,
+            "confidence": self.confidence,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "ThresholdDistribution":
+        return cls(
+            thresholds=tuple(float(t) for t in record["thresholds"]),
+            mean=float(record["mean"]),
+            std=float(record["std"]),
+            low=float(record["low"]),
+            high=float(record["high"]),
+            confidence=float(record["confidence"]),
+        )
+
 
 def estimate_distribution(
     problem: PartitionProblem,

@@ -28,6 +28,8 @@ import tempfile
 from functools import lru_cache
 from pathlib import Path
 
+from repro.obs import runtime as _obs
+
 #: Package directories (relative to ``src/repro``) whose sources feed the
 #: code-version salt.  ``engine`` and ``analysis`` are deliberately absent:
 #: they orchestrate and validate but never change a simulated number.
@@ -108,16 +110,23 @@ class ResultCache:
         """The stored record for *fields*, or ``None`` (miss).
 
         Unreadable/corrupt records count as misses: the caller recomputes
-        and the subsequent :meth:`put` repairs the entry.
+        and the subsequent :meth:`put` repairs the entry.  Lookups feed
+        the ``cache.hit`` / ``cache.miss`` obs counters when observability
+        is enabled.
         """
         path = self.path(fields)
         try:
             with path.open("r", encoding="utf-8") as fh:
                 entry = json.load(fh)
         except (OSError, json.JSONDecodeError):
+            _obs.counter("cache.miss").inc()
             return None
         record = entry.get("record") if isinstance(entry, dict) else None
-        return record if isinstance(record, dict) else None
+        if isinstance(record, dict):
+            _obs.counter("cache.hit").inc()
+            return record
+        _obs.counter("cache.miss").inc()
+        return None
 
     def put(self, fields: dict, record: dict) -> None:
         """Store *record* under *fields* atomically.

@@ -55,9 +55,9 @@ class EngineStats:
         return self.hits / total if total else 0.0
 
 
-@dataclass
+@dataclass(kw_only=True)
 class Engine:
-    """Parallel execution + caching for experiment units."""
+    """Parallel execution + caching for experiment units (keyword-only)."""
 
     workers: int = 1
     cache: ResultCache | None = None

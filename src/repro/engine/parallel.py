@@ -25,10 +25,35 @@ degrades to the serial backend rather than failing the run.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Sequence, TypeVar
+
+from repro.obs import runtime as _obs
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
+
+
+def _obs_task(packed: tuple) -> tuple:
+    """Run one task inside a worker with a fresh obs buffer.
+
+    Observability state is per-process, so a pooled task records into a
+    tracer/registry enabled just for its duration; the spans, the metrics
+    snapshot, and the task's wall-clock cost travel back with the result
+    for the parent to absorb.  Module-level so the pool can pickle it by
+    reference.
+    """
+    fn, payload = packed
+    start_s = time.perf_counter()
+    tracer, metrics = _obs.enable(tid="worker")
+    try:
+        result = fn(payload)
+    finally:
+        records = tracer.records()
+        snapshot = metrics.snapshot()
+        _obs.disable()
+    wall_ms = (time.perf_counter() - start_s) * 1e3
+    return result, records, snapshot, wall_ms
 
 
 def chunked(items: Sequence[_T], n_chunks: int) -> list[list[_T]]:
@@ -113,6 +138,8 @@ class ParallelMap:
         executor = self._pool()
         if executor is None:
             return [fn(p) for p in payloads]
+        if _obs.enabled():
+            return self._map_observed(executor, fn, payloads)
         try:
             return list(executor.map(fn, payloads))
         except BrokenPipeError:
@@ -127,3 +154,40 @@ class ParallelMap:
                 self.close()
                 return [fn(p) for p in payloads]
             raise
+
+    def _map_observed(self, executor, fn, payloads: list) -> list:
+        """The pooled map with span/metric shipping (observability on).
+
+        Tasks run wrapped in :func:`_obs_task`; the parent absorbs every
+        worker's span buffer and metrics snapshot in payload order, so the
+        merged trace is identical in aggregate to a serial run (plus the
+        ``pool.*`` bookkeeping, which only exists on this path).
+        """
+        with _obs.span(
+            "pool/map", cat="pool", n_tasks=len(payloads), workers=self.workers
+        ):
+            try:
+                shipped = list(
+                    executor.map(_obs_task, [(fn, p) for p in payloads])
+                )
+            except BrokenPipeError:
+                self._pool_broken = True
+                self.close()
+                return [fn(p) for p in payloads]
+            except Exception as exc:
+                from concurrent.futures.process import BrokenProcessPool
+
+                if isinstance(exc, BrokenProcessPool):
+                    self._pool_broken = True
+                    self.close()
+                    return [fn(p) for p in payloads]
+                raise
+            results = []
+            chunk_ms = _obs.histogram("pool.chunk_ms")
+            for result, records, snapshot, wall_ms in shipped:
+                _obs.absorb(records, snapshot)
+                chunk_ms.observe(wall_ms)
+                results.append(result)
+            _obs.counter("pool.tasks").inc(len(payloads))
+            _obs.gauge("pool.workers").set(self.workers)
+        return results

@@ -27,9 +27,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.engine import Engine
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class ExperimentConfig:
-    """Knobs shared by all experiments.
+    """Knobs shared by all experiments (construct with keywords only).
 
     Attributes
     ----------
@@ -45,7 +45,7 @@ class ExperimentConfig:
     validate_traces:
         Opt-in correctness pass: hazard-check the simulated timelines at
         every threshold a study reports (see
-        :func:`repro.platform.trace.validate_timeline`).  Off by default —
+        :func:`repro.obs.validate_timeline`).  Off by default —
         the checks are O(spans log spans) per evaluated threshold.
     workers:
         Parallel fan-out width for the execution engine: ``1`` (default)

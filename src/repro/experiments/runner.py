@@ -43,7 +43,8 @@ from repro.experiments.config import ExperimentConfig
 from repro.hetero.cc import CcProblem
 from repro.hetero.hh_cpu import HhCpuProblem
 from repro.hetero.spmm import SpmmProblem
-from repro.platform.trace import validate_timeline
+from repro.obs import runtime as _obs
+from repro.obs.timeline_view import validate_timeline
 from repro.util.rng import stable_seed
 from repro.workloads.suite import cc_subset_names, scalefree_subset_names, spmm_subset_names
 
@@ -340,14 +341,17 @@ def sensitivity_sweep(
 
 def cc_study(config: ExperimentConfig) -> list[BaselineComparison]:
     names = config.select(cc_subset_names())
-    return run_study(config, names, cc_problem, cc_partitioner)
+    with _obs.span("study/cc", cat="experiments", datasets=len(names)):
+        return run_study(config, names, cc_problem, cc_partitioner)
 
 
 def spmm_study(config: ExperimentConfig) -> list[BaselineComparison]:
     names = config.select(spmm_subset_names())
-    return run_study(config, names, spmm_problem, spmm_partitioner)
+    with _obs.span("study/spmm", cat="experiments", datasets=len(names)):
+        return run_study(config, names, spmm_problem, spmm_partitioner)
 
 
 def hh_study(config: ExperimentConfig) -> list[BaselineComparison]:
     names = config.select(scalefree_subset_names())
-    return run_study(config, names, hh_problem, hh_partitioner)
+    with _obs.span("study/hh", cat="experiments", datasets=len(names)):
+        return run_study(config, names, hh_problem, hh_partitioner)

@@ -1,0 +1,96 @@
+"""repro.obs — end-to-end observability for the reproduction.
+
+One import gives you the whole layer::
+
+    from repro import obs
+
+    tracer, metrics = obs.enable()
+    ...  # run experiments; instrumented code records spans + metrics
+    obs.write_trace("trace.json", tracer.records(), metrics.snapshot())
+
+Three pieces, one contract:
+
+* **spans** (:mod:`repro.obs.tracer`) — nested ``with obs.span(...)``
+  regions carrying wall-clock *and* simulated-ms attribution;
+* **metrics** (:mod:`repro.obs.metrics`) — counters / gauges /
+  histograms under a small documented name vocabulary;
+* **exporters** (:mod:`repro.obs.export`) — Chrome trace-event JSON,
+  per-span aggregates, terminal summaries, trace diffs.
+
+The contract: **disabled is free and invisible**.  The default tracer and
+registry are no-ops (shared stateless singletons), and recording never
+feeds back into computed numbers — the determinism suite is bit-identical
+with observability on or off.
+
+``python -m repro.obs summary TRACE`` / ``diff A B`` work on exported
+trace files; see docs/OBSERVABILITY.md for the full tour.
+"""
+
+from repro.obs.bridge import bridge_timeline
+from repro.obs.export import (
+    aggregate_events,
+    aggregate_records,
+    diff_aggregates,
+    load_trace,
+    render_summary,
+    to_chrome_trace,
+    write_trace,
+)
+from repro.obs.metrics import MetricsRegistry, NoopMetrics
+from repro.obs.runtime import (
+    absorb,
+    counter,
+    disable,
+    enable,
+    enabled,
+    gauge,
+    get_metrics,
+    get_tracer,
+    histogram,
+    span,
+)
+from repro.obs.timeline_view import (
+    ResourceUtilization,
+    critical_summary,
+    idle_spans,
+    render_gantt,
+    utilization,
+    validate_timeline,
+)
+from repro.obs.tracer import NoopTracer, RecordingTracer, SpanRecord
+
+__all__ = [
+    # runtime handles
+    "enable",
+    "disable",
+    "enabled",
+    "get_tracer",
+    "get_metrics",
+    "span",
+    "counter",
+    "gauge",
+    "histogram",
+    "absorb",
+    # tracing / metrics types
+    "SpanRecord",
+    "NoopTracer",
+    "RecordingTracer",
+    "MetricsRegistry",
+    "NoopMetrics",
+    # exporters
+    "to_chrome_trace",
+    "write_trace",
+    "load_trace",
+    "aggregate_events",
+    "aggregate_records",
+    "render_summary",
+    "diff_aggregates",
+    # simulated-timeline views
+    "bridge_timeline",
+    "ResourceUtilization",
+    "utilization",
+    "idle_spans",
+    "critical_summary",
+    "render_gantt",
+    "validate_timeline",
+]

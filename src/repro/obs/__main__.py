@@ -1,0 +1,76 @@
+"""CLI over exported traces: ``python -m repro.obs summary|diff ...``.
+
+``summary TRACE``
+    Per-span aggregates (count, wall ms, sim ms) plus the recorded
+    metrics, sorted by descending simulated time.
+
+``diff BASE OTHER``
+    Count + simulated-ms deltas between two traces.  Wall-clock columns
+    are excluded on purpose: same-config runs should diff clean across
+    hosts of different speeds.
+
+Exit codes: 0 success, 1 usage error, 2 unreadable/corrupt trace file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.export import (
+    aggregate_events,
+    diff_aggregates,
+    load_trace,
+    render_summary,
+)
+from repro.util.errors import ValidationError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarize or diff exported repro observability traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_summary = sub.add_parser("summary", help="aggregate one trace file")
+    p_summary.add_argument("trace", help="Chrome trace JSON written by --obs-out")
+    p_summary.add_argument(
+        "--cat",
+        default=None,
+        help="only include spans with this category (e.g. sim, core, pool)",
+    )
+
+    p_diff = sub.add_parser("diff", help="compare two trace files")
+    p_diff.add_argument("base", help="baseline trace JSON")
+    p_diff.add_argument("other", help="trace JSON to compare against the baseline")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "summary":
+            events, metrics = load_trace(args.trace)
+            if args.cat is not None:
+                events = [e for e in events if e.get("cat") == args.cat]
+            print(render_summary(aggregate_events(events), metrics))
+        else:
+            base_events, base_metrics = load_trace(args.base)
+            other_events, other_metrics = load_trace(args.other)
+            print(
+                diff_aggregates(
+                    aggregate_events(base_events),
+                    aggregate_events(other_events),
+                    base_metrics,
+                    other_metrics,
+                )
+            )
+    except ValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Bridge simulated :class:`~repro.platform.timeline.Timeline` spans into obs spans.
+
+The simulator's timelines are the ground truth for *simulated* time; the
+obs layer is the ground truth for *where the run spent it*.  The bridge
+joins them: one obs span per timeline span, each carrying the simulated
+placement (``args.sim_start_ms``) and duration (``sim_ms``), under a parent
+span whose ``sim_ms`` is the timeline's makespan.
+
+Bridged spans use the ``sim`` category, so exporters and the ``repro.obs``
+CLI can separate machine-level attribution from framework-level phases.
+Two counters are maintained as a side effect: ``sim.timeline_spans``
+(every span bridged) and ``sim.kernel_launches`` (the GPU spans among
+them — each GPU timeline span is one modeled kernel dispatch).
+"""
+
+from __future__ import annotations
+
+from repro.obs import runtime
+from repro.platform.timeline import Timeline
+
+
+def bridge_timeline(timeline: Timeline, name: str, cat: str = "sim") -> None:
+    """Record *timeline* under an obs span tree rooted at *name*.
+
+    A no-op (one boolean check) when observability is disabled, so
+    callers on warm paths need no guard of their own.
+    """
+    if not runtime.enabled():
+        return
+    spans = timeline.spans
+    gpu_spans = sum(1 for s in spans if s.resource.startswith("gpu"))
+    runtime.counter("sim.timeline_spans").inc(len(spans))
+    runtime.counter("sim.kernel_launches").inc(gpu_spans)
+    with runtime.span(name, cat=cat, n_spans=len(spans)) as root:
+        root.add_sim_ms(timeline.total_ms)
+        for sim_span in spans:
+            with runtime.span(
+                f"{name}/{sim_span.resource}:{sim_span.label}",
+                cat=cat,
+                resource=sim_span.resource,
+                sim_start_ms=sim_span.start_ms,
+            ) as child:
+                child.add_sim_ms(sim_span.duration_ms)

@@ -1,0 +1,276 @@
+"""Trace exporters: Chrome trace-event JSON, aggregates, terminal summary.
+
+The on-disk format is the Chrome trace-event format (the JSON object
+form), so a recorded run opens directly in ``chrome://tracing`` or
+https://ui.perfetto.dev::
+
+    {
+      "traceEvents": [
+        {"name": "estimate/cant", "cat": "core", "ph": "X",
+         "ts": 120.5, "dur": 980.2, "pid": 4242, "tid": "main",
+         "args": {"sim_ms": 0.931}},
+        ...
+      ],
+      "displayTimeUnit": "ms",
+      "otherData": {"metrics": {...}, "meta": {...}}
+    }
+
+``ts``/``dur`` are wall-clock microseconds (the viewer's contract); the
+simulated-clock attribution rides in ``args.sim_ms`` and is what
+:func:`aggregate_events` totals per span name — the numbers the paper's
+Overhead % economics reconcile against (see tests/test_obs_integration.py).
+
+Loading is strict about structure (:class:`~repro.util.errors.ValidationError`
+on corrupt or partial files, so the CLI can exit with a clear error) but
+lenient about content: unknown phases and extra keys are ignored.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.obs.tracer import SpanRecord
+from repro.util.errors import ValidationError
+
+#: Trace-format identifier stamped into ``otherData.meta``.
+TRACE_FORMAT_VERSION = 1
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+def to_chrome_trace(
+    records: Sequence[SpanRecord],
+    metrics_snapshot: dict | None = None,
+    meta: dict | None = None,
+) -> dict:
+    """The Chrome trace-event document for *records* (JSON-safe dict)."""
+    events = []
+    pids = sorted({r.pid for r in records})
+    for pid in pids:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": "repro"},
+            }
+        )
+    for record in records:
+        args = {"sim_ms": record.sim_ms}
+        args.update({k: _jsonable(v) for k, v in record.args.items()})
+        events.append(
+            {
+                "name": record.name,
+                "cat": record.cat,
+                "ph": "X",
+                "ts": record.ts_us,
+                "dur": record.dur_us,
+                "pid": record.pid,
+                "tid": record.tid,
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "metrics": metrics_snapshot
+            or {"counters": {}, "gauges": {}, "histograms": {}},
+            "meta": {"format_version": TRACE_FORMAT_VERSION, **(meta or {})},
+        },
+    }
+
+
+def write_trace(
+    path: str | Path,
+    records: Sequence[SpanRecord],
+    metrics_snapshot: dict | None = None,
+    meta: dict | None = None,
+) -> Path:
+    """Serialize *records* + metrics as a Chrome trace file; returns the path."""
+    p = Path(path)
+    doc = to_chrome_trace(records, metrics_snapshot, meta)
+    if p.parent != Path("."):
+        p.parent.mkdir(parents=True, exist_ok=True)
+    p.write_text(json.dumps(doc, indent=1) + "\n", encoding="utf-8")
+    return p
+
+
+def load_trace(path: str | Path) -> tuple[list[dict], dict]:
+    """Read a Chrome trace file; returns ``(duration_events, metrics)``.
+
+    Only complete ``ph == "X"`` events are returned (metadata events are
+    structural noise for analysis).  Corrupt JSON, a missing
+    ``traceEvents`` list, or an X event missing its required keys raise
+    :class:`ValidationError` — partial/truncated files must fail loudly,
+    not silently produce half a summary.
+    """
+    p = Path(path)
+    try:
+        doc = json.loads(p.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ValidationError(f"{p}: unreadable: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"{p}: not valid JSON (truncated?): {exc}") from exc
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        raise ValidationError(f"{p}: not a Chrome trace (missing 'traceEvents' list)")
+    events: list[dict] = []
+    for i, event in enumerate(doc["traceEvents"]):
+        if not isinstance(event, dict):
+            raise ValidationError(f"{p}: traceEvents[{i}] is not an object")
+        if event.get("ph") != "X":
+            continue
+        for key in ("name", "ts", "dur"):
+            if key not in event:
+                raise ValidationError(
+                    f"{p}: traceEvents[{i}] (ph=X) is missing required key {key!r}"
+                )
+        if not isinstance(event["name"], str) or not isinstance(
+            event["ts"], (int, float)
+        ) or not isinstance(event["dur"], (int, float)):
+            raise ValidationError(f"{p}: traceEvents[{i}] has malformed fields")
+        events.append(event)
+    other = doc.get("otherData")
+    metrics = other.get("metrics") if isinstance(other, dict) else None
+    if metrics is None or not isinstance(metrics, dict):
+        metrics = {"counters": {}, "gauges": {}, "histograms": {}}
+    return events, metrics
+
+
+def aggregate_events(events: Sequence[dict]) -> dict[str, dict]:
+    """Per-span-name totals: ``{name: {count, wall_ms, sim_ms, cat}}``.
+
+    ``sim_ms`` sums ``args.sim_ms`` and is reproducible run to run;
+    ``wall_ms`` sums ``dur`` and is host-dependent.  Consumers comparing
+    runs (the CLI's ``diff``, the pooled determinism suite) should key on
+    count + sim_ms.
+    """
+    out: dict[str, dict] = {}
+    for event in events:
+        name = event["name"]
+        entry = out.get(name)
+        if entry is None:
+            entry = out[name] = {
+                "count": 0,
+                "wall_ms": 0.0,
+                "sim_ms": 0.0,
+                "cat": event.get("cat", ""),
+            }
+        entry["count"] += 1
+        entry["wall_ms"] += float(event["dur"]) / 1e3
+        args = event.get("args")
+        if isinstance(args, dict):
+            sim = args.get("sim_ms")
+            if isinstance(sim, (int, float)):
+                entry["sim_ms"] += float(sim)
+    return out
+
+
+def aggregate_records(records: Sequence[SpanRecord]) -> dict[str, dict]:
+    """:func:`aggregate_events` over in-memory span records."""
+    out: dict[str, dict] = {}
+    for record in records:
+        entry = out.get(record.name)
+        if entry is None:
+            entry = out[record.name] = {
+                "count": 0,
+                "wall_ms": 0.0,
+                "sim_ms": 0.0,
+                "cat": record.cat,
+            }
+        entry["count"] += 1
+        entry["wall_ms"] += record.dur_us / 1e3
+        entry["sim_ms"] += record.sim_ms
+    return out
+
+
+def render_summary(aggregates: dict[str, dict], metrics: dict | None = None) -> str:
+    """Terminal summary: spans by descending simulated time, then metrics."""
+    lines = ["== obs summary =="]
+    if aggregates:
+        name_w = max(len(n) for n in aggregates)
+        lines.append(
+            f"{'span':{name_w}}  {'count':>7}  {'wall ms':>12}  {'sim ms':>12}"
+        )
+        ordered = sorted(
+            aggregates.items(), key=lambda kv: (-kv[1]["sim_ms"], kv[0])
+        )
+        for name, entry in ordered:
+            lines.append(
+                f"{name:{name_w}}  {entry['count']:>7d}  "
+                f"{entry['wall_ms']:>12.3f}  {entry['sim_ms']:>12.3f}"
+            )
+    else:
+        lines.append("(no spans recorded)")
+    if metrics:
+        counters = metrics.get("counters", {})
+        gauges = metrics.get("gauges", {})
+        histograms = metrics.get("histograms", {})
+        if counters or gauges or histograms:
+            lines.append("")
+            lines.append("metrics:")
+            for name, value in sorted(counters.items()):
+                lines.append(f"  {name} = {value:g}")
+            for name, value in sorted(gauges.items()):
+                lines.append(f"  {name} = {value:g} (gauge)")
+            for name, summary in sorted(histograms.items()):
+                if summary.get("count"):
+                    mean = summary["sum"] / summary["count"]
+                    lines.append(
+                        f"  {name}: n={summary['count']} mean={mean:.3f} "
+                        f"min={summary['min']:.3f} max={summary['max']:.3f}"
+                    )
+                else:
+                    lines.append(f"  {name}: n=0")
+    return "\n".join(lines)
+
+
+def diff_aggregates(
+    base: dict[str, dict],
+    other: dict[str, dict],
+    base_metrics: dict | None = None,
+    other_metrics: dict | None = None,
+) -> str:
+    """Human-readable diff of two traces' aggregates (sim time + counts).
+
+    Wall-clock columns are deliberately omitted: two runs on the same
+    config should diff clean on counts and simulated milliseconds even
+    when the host was slower.
+    """
+    names = sorted(set(base) | set(other))
+    lines = ["== obs diff (sim ms, count) =="]
+    any_change = False
+    for name in names:
+        b = base.get(name, {"count": 0, "sim_ms": 0.0})
+        o = other.get(name, {"count": 0, "sim_ms": 0.0})
+        d_count = o["count"] - b["count"]
+        d_sim = o["sim_ms"] - b["sim_ms"]
+        if d_count == 0 and abs(d_sim) < 1e-9:
+            continue
+        any_change = True
+        lines.append(
+            f"  {name}: count {b['count']} -> {o['count']} ({d_count:+d}), "
+            f"sim_ms {b['sim_ms']:.3f} -> {o['sim_ms']:.3f} ({d_sim:+.3f})"
+        )
+    b_counters = (base_metrics or {}).get("counters", {})
+    o_counters = (other_metrics or {}).get("counters", {})
+    for name in sorted(set(b_counters) | set(o_counters)):
+        b_v = float(b_counters.get(name, 0.0))
+        o_v = float(o_counters.get(name, 0.0))
+        if abs(o_v - b_v) >= 1e-9:
+            any_change = True
+            lines.append(f"  counter {name}: {b_v:g} -> {o_v:g} ({o_v - b_v:+g})")
+    if not any_change:
+        lines.append("  (identical on counts and simulated time)")
+    return "\n".join(lines)

@@ -1,0 +1,189 @@
+"""Counters, gauges, and histograms with a zero-overhead no-op default.
+
+The metric names instrumented across the repo form a small, documented
+vocabulary (docs/OBSERVABILITY.md):
+
+===================  ==========  =================================================
+name                 kind        meaning
+===================  ==========  =================================================
+``search.evaluations``  counter  identify-search threshold probes performed
+``oracle.evaluations``  counter  exhaustive-oracle threshold probes performed
+``cache.hit``           counter  result-cache lookups served from disk
+``cache.miss``          counter  result-cache lookups that had to compute
+``sim.timeline_spans``  counter  simulated-timeline spans bridged into the trace
+``sim.kernel_launches`` counter  GPU spans among the bridged timeline spans
+``pool.tasks``          counter  tasks executed on the process-pool backend
+``pool.chunk_ms``       histogram  wall-clock milliseconds per pooled task
+``pool.workers``        gauge    process-pool width of the most recent map
+===================  ==========  =================================================
+
+Like the tracer, the module-level registry defaults to a no-op twin whose
+instruments discard every update, so disabled runs pay one attribute call
+per site.  Snapshots are plain JSON-safe dicts; :meth:`MetricsRegistry.merge`
+folds a worker process's snapshot into the parent's registry (counters and
+histograms add, gauges keep the maximum — the only merge that is
+independent of arrival order, which the pooled determinism suite relies
+on).
+"""
+
+from __future__ import annotations
+
+
+class _NoopInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+_NOOP_INSTRUMENT = _NoopInstrument()
+
+
+class NoopMetrics:
+    """The default registry: hands out one shared no-op instrument."""
+
+    __slots__ = ()
+
+    recording = False
+
+    def counter(self, name: str) -> _NoopInstrument:
+        return _NOOP_INSTRUMENT
+
+    def gauge(self, name: str) -> _NoopInstrument:
+        return _NOOP_INSTRUMENT
+
+    def histogram(self, name: str) -> _NoopInstrument:
+        return _NOOP_INSTRUMENT
+
+    def snapshot(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge(self, snapshot: dict) -> None:
+        return None
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-set value (merge keeps the maximum across processes)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary: count / sum / min / max.
+
+    Full sample retention would make worker snapshots unbounded; the
+    four-number summary merges associatively, which keeps pooled and
+    serial aggregates comparable.
+    """
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def summary(self) -> dict:
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": None, "max": None}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Name -> instrument mapping with snapshot/merge plumbing."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    recording = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge()
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram()
+        return instrument
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump of every instrument (sorted names, stable)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            if value > gauge.value:
+                gauge.set(value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            if summary.get("count"):
+                histogram.count += int(summary["count"])
+                histogram.total += float(summary["sum"])
+                if summary["min"] is not None and summary["min"] < histogram.min:
+                    histogram.min = float(summary["min"])
+                if summary["max"] is not None and summary["max"] > histogram.max:
+                    histogram.max = float(summary["max"])

@@ -1,0 +1,83 @@
+"""Process-global observability state: the current tracer and registry.
+
+One tracer and one metrics registry per process, both no-ops until
+:func:`enable` swaps in recording instances.  Instrumented call sites go
+through the module-level handles (:func:`span`, :func:`counter`, ...) so
+they never hold a stale reference across an enable/disable transition.
+
+Enabling or disabling observability never changes a computed number —
+recording observes results; it does not feed back.  The engine's process
+pool calls :func:`enable` inside workers and ships the buffers back for
+:func:`absorb` (see :mod:`repro.engine.parallel`).
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry, NoopMetrics
+from repro.obs.tracer import NoopTracer, RecordingTracer, SpanRecord
+
+_NOOP_TRACER = NoopTracer()
+_NOOP_METRICS = NoopMetrics()
+
+_tracer: NoopTracer | RecordingTracer = _NOOP_TRACER
+_metrics: NoopMetrics | MetricsRegistry = _NOOP_METRICS
+
+
+def enable(tid: str = "main") -> tuple[RecordingTracer, MetricsRegistry]:
+    """Switch this process to recording; returns the fresh (tracer, registry).
+
+    Always starts from empty buffers — re-enabling discards prior state
+    (pool workers rely on this to isolate per-task buffers).
+    """
+    global _tracer, _metrics
+    _tracer = RecordingTracer(tid=tid)
+    _metrics = MetricsRegistry()
+    return _tracer, _metrics
+
+
+def disable() -> None:
+    """Back to the zero-overhead no-ops (recorded buffers are dropped)."""
+    global _tracer, _metrics
+    _tracer = _NOOP_TRACER
+    _metrics = _NOOP_METRICS
+
+
+def enabled() -> bool:
+    """Is this process currently recording spans/metrics?"""
+    return _tracer.recording
+
+
+def get_tracer() -> NoopTracer | RecordingTracer:
+    """The process's current tracer (the no-op singleton when disabled)."""
+    return _tracer
+
+
+def get_metrics() -> NoopMetrics | MetricsRegistry:
+    """The process's current metrics registry (no-op when disabled)."""
+    return _metrics
+
+
+def span(name: str, cat: str = "repro", **attrs: object):
+    """Open a span on the current tracer (no-op context when disabled)."""
+    return _tracer.span(name, cat=cat, **attrs)
+
+
+def counter(name: str):
+    """The named counter on the current registry."""
+    return _metrics.counter(name)
+
+
+def gauge(name: str):
+    """The named gauge on the current registry."""
+    return _metrics.gauge(name)
+
+
+def histogram(name: str):
+    """The named histogram on the current registry."""
+    return _metrics.histogram(name)
+
+
+def absorb(records: list[SpanRecord], snapshot: dict) -> None:
+    """Merge a worker's span buffer and metrics snapshot into this process."""
+    _tracer.absorb(records)
+    _metrics.merge(snapshot)

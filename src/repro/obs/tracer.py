@@ -1,0 +1,177 @@
+"""Span-based tracing with a zero-overhead no-op default.
+
+The tracer answers *where time goes* inside Sample -> Identify ->
+Extrapolate, the simulated machine, and the parallel engine.  Call sites
+open spans with a context manager::
+
+    from repro import obs
+
+    with obs.span("identify/cant", cat="core") as sp:
+        result = search.minimize(sub)
+        sp.add_sim_ms(result.cost_ms)
+
+Every span records both clocks:
+
+* **wall time** (``ts_us``/``dur_us``, microseconds since the tracer was
+  enabled) — what the host actually spent, the Chrome-trace x axis;
+* **simulated time** (``sim_ms``, accumulated via :meth:`add_sim_ms`) —
+  what the modeled K40c testbed was charged, the currency of the paper's
+  Overhead % economics.
+
+The module-level tracer defaults to :class:`NoopTracer`: ``span()`` then
+returns one shared, stateless object whose ``__enter__``/``__exit__`` do
+nothing, so instrumented hot paths cost one attribute call when tracing is
+off and the determinism suite's output is byte-identical either way.
+Recording never feeds back into the computation — spans observe results,
+they do not alter them.
+
+Process-pool note: tracers are per-process.  Worker processes record into
+their own buffer and ship :class:`SpanRecord` lists back with their result
+(see :mod:`repro.engine.parallel`); the parent absorbs them, so one trace
+covers the whole run regardless of ``--workers``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span.  Plain data: picklable, JSON-safe after export.
+
+    ``ts_us``/``dur_us`` are wall-clock microseconds relative to the
+    recording tracer's epoch (its ``enable()`` instant, per process);
+    ``sim_ms`` is the simulated-clock attribution accumulated inside the
+    span (0.0 when the span carried none).
+    """
+
+    name: str
+    cat: str
+    ts_us: float
+    dur_us: float
+    sim_ms: float
+    pid: int
+    tid: str
+    args: dict = field(default_factory=dict)
+
+
+class _NoopSpan:
+    """The shared do-nothing span: context manager + dead-end setters."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def add_sim_ms(self, sim_ms: float) -> None:
+        return None
+
+    def set(self, **attrs: object) -> None:
+        return None
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class NoopTracer:
+    """The default tracer: every operation is a no-op.
+
+    ``span()`` hands back one shared :class:`_NoopSpan` instance — no
+    allocation, no clock read — which is what makes instrumentation safe
+    to leave in hot paths permanently.
+    """
+
+    __slots__ = ()
+
+    #: Discriminator read by :func:`repro.obs.enabled` — kept as a class
+    #: attribute so the check is one attribute load.
+    recording = False
+
+    def span(self, name: str, cat: str = "repro", **attrs: object) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    def records(self) -> list[SpanRecord]:
+        return []
+
+    def absorb(self, records: list[SpanRecord]) -> None:
+        return None
+
+
+class _ActiveSpan:
+    """A span currently open on a :class:`RecordingTracer`."""
+
+    __slots__ = ("_tracer", "name", "cat", "args", "_start_s", "_sim_ms")
+
+    def __init__(self, tracer: "RecordingTracer", name: str, cat: str, args: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self._sim_ms = 0.0
+        self._start_s = time.perf_counter()
+
+    def add_sim_ms(self, sim_ms: float) -> None:
+        """Attribute *sim_ms* simulated milliseconds to this span."""
+        self._sim_ms += float(sim_ms)
+
+    def set(self, **attrs: object) -> None:
+        """Attach/overwrite span attributes discovered mid-span."""
+        self.args.update(attrs)
+
+    def __enter__(self) -> "_ActiveSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        end_s = time.perf_counter()
+        tracer = self._tracer
+        tracer._records.append(
+            SpanRecord(
+                name=self.name,
+                cat=self.cat,
+                ts_us=(self._start_s - tracer._epoch_s) * 1e6,
+                dur_us=(end_s - self._start_s) * 1e6,
+                sim_ms=self._sim_ms,
+                pid=tracer.pid,
+                tid=tracer.tid,
+                args=self.args,
+            )
+        )
+
+
+class RecordingTracer:
+    """Buffers every finished span, in completion order.
+
+    Nesting needs no explicit bookkeeping: children start later and end
+    earlier than their parent, which is exactly how the Chrome trace
+    viewer reconstructs the stack from ``ts``/``dur``.
+    """
+
+    __slots__ = ("_records", "_epoch_s", "pid", "tid")
+
+    recording = True
+
+    def __init__(self, tid: str = "main") -> None:
+        self._records: list[SpanRecord] = []
+        self._epoch_s = time.perf_counter()
+        self.pid = os.getpid()
+        self.tid = tid
+
+    def span(self, name: str, cat: str = "repro", **attrs: object) -> _ActiveSpan:
+        return _ActiveSpan(self, name, cat, dict(attrs))
+
+    def records(self) -> list[SpanRecord]:
+        """Snapshot of the finished spans so far."""
+        return list(self._records)
+
+    def absorb(self, records: list[SpanRecord]) -> None:
+        """Append spans recorded elsewhere (a worker process's buffer)."""
+        self._records.extend(records)
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -10,7 +10,7 @@ from repro.hetero.dynamic import simulate_dynamic_spmm
 from repro.hetero.hh_cpu import HhCpuProblem
 from repro.hetero.spmm import SpmmProblem
 from repro.platform.timeline import Span, Timeline
-from repro.platform.trace import validate_timeline
+from repro.obs.timeline_view import validate_timeline
 from repro.util.errors import ValidationError
 from tests.conftest import random_graph, random_sparse
 

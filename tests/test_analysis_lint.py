@@ -234,3 +234,79 @@ class TestShippedTreeIsClean:
     def test_src_repro_lints_clean(self):
         findings = lint_paths([SRC_ROOT])
         assert findings == [], "\n".join(f.render() for f in findings)
+
+
+class TestApi001:
+    """Package __init__ public-surface rule (docs/ANALYSIS.md)."""
+
+    def test_unlisted_reexport_flagged(self):
+        src = (
+            "from repro.obs.tracer import SpanRecord\n"
+            "__all__ = []\n"
+        )
+        findings = lint_source(src, "src/repro/obs/__init__.py")
+        assert codes(findings) == ["API001"]
+        assert "SpanRecord" in findings[0].message
+        assert findings[0].line == 1
+
+    def test_missing_dunder_all_flagged_once(self):
+        src = (
+            "from repro.core.search import SearchResult\n"
+            "def helper():\n"
+            "    pass\n"
+        )
+        findings = lint_source(src, "src/repro/core/__init__.py")
+        assert codes(findings) == ["API001"]
+        assert "no __all__" in findings[0].message
+
+    def test_listed_names_clean(self):
+        src = (
+            "from repro.obs.tracer import SpanRecord\n"
+            "def get_tracer():\n"
+            "    pass\n"
+            'VERSION = "1"\n'
+            '__all__ = ["SpanRecord", "get_tracer", "VERSION"]\n'
+        )
+        assert lint_source(src, "src/repro/obs/__init__.py") == []
+
+    def test_own_submodule_reimport_exempt(self):
+        src = (
+            "from repro.experiments import fig3_cc\n"
+            "__all__ = []\n"
+        )
+        assert lint_source(src, "src/repro/experiments/__init__.py") == []
+
+    def test_relative_submodule_reimport_exempt(self):
+        src = "from . import tracer\n__all__ = []\n"
+        assert lint_source(src, "src/repro/obs/__init__.py") == []
+
+    def test_non_repro_imports_ignored(self):
+        src = "from pathlib import Path\nimport numpy as np\n__all__ = []\n"
+        assert lint_source(src, "src/repro/obs/__init__.py") == []
+
+    def test_underscore_names_ignored(self):
+        src = (
+            "from repro.obs.tracer import SpanRecord as _SpanRecord\n"
+            "_CACHE = {}\n"
+            "__all__ = []\n"
+        )
+        assert lint_source(src, "src/repro/obs/__init__.py") == []
+
+    def test_non_literal_all_skipped(self):
+        src = (
+            "from repro.obs.tracer import SpanRecord\n"
+            "names = ['SpanRecord']\n"
+            "__all__ = list(names)\n"
+        )
+        findings = lint_source(src, "src/repro/obs/__init__.py")
+        assert "API001" not in codes(findings)
+
+    def test_plain_modules_not_checked(self):
+        src = "from repro.obs.tracer import SpanRecord\n"
+        assert lint_source(src, "src/repro/obs/export.py") == []
+
+    def test_live_tree_is_clean(self):
+        inits = sorted(SRC_ROOT.rglob("__init__.py"))
+        assert inits, "expected package __init__ files under src/repro"
+        findings = [f for f in lint_paths(inits) if f.code == "API001"]
+        assert findings == []

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.__main__ import main
+from repro.experiments.cli import main
 
 
 class TestCli:

@@ -1,0 +1,305 @@
+"""Unit tests for the observability layer (repro.obs).
+
+Covers the tracer's zero-overhead contract, metric merge semantics, the
+Chrome-trace exporter (including strict rejection of corrupt files), the
+simulated-timeline bridge, and the ``python -m repro.obs`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    NoopTracer,
+    RecordingTracer,
+    SpanRecord,
+    aggregate_events,
+    aggregate_records,
+    diff_aggregates,
+    load_trace,
+    render_summary,
+    to_chrome_trace,
+    write_trace,
+)
+from repro.obs import runtime
+from repro.obs.__main__ import main as obs_main
+from repro.obs.bridge import bridge_timeline
+from repro.platform.timeline import Timeline
+from repro.util.errors import ValidationError
+
+
+@pytest.fixture(autouse=True)
+def _obs_off_after():
+    """Observability is process-global state; never leak it across tests."""
+    yield
+    runtime.disable()
+
+
+class TestTracer:
+    def test_disabled_by_default_and_noop(self):
+        assert not runtime.enabled()
+        tracer = runtime.get_tracer()
+        assert isinstance(tracer, NoopTracer)
+        with runtime.span("anything", cat="x", k=1) as sp:
+            sp.add_sim_ms(5.0)
+            sp.set(extra=2)
+        assert tracer.records() == []
+        # The no-op span is a shared singleton: no per-call allocation.
+        assert runtime.span("a") is runtime.span("b")
+
+    def test_recording_nesting_and_attribution(self):
+        tracer, _ = runtime.enable()
+        assert runtime.enabled()
+        with runtime.span("outer", cat="test", depth=0) as outer:
+            outer.add_sim_ms(2.0)
+            outer.add_sim_ms(3.0)
+            with runtime.span("inner", cat="test") as inner:
+                inner.add_sim_ms(7.0)
+                inner.set(winner=42)
+        records = tracer.records()
+        assert [r.name for r in records] == ["inner", "outer"]  # close order
+        inner_rec, outer_rec = records
+        assert inner_rec.sim_ms == 7.0
+        assert inner_rec.args["winner"] == 42
+        assert outer_rec.sim_ms == 5.0
+        assert outer_rec.args["depth"] == 0
+        # The inner span is contained in the outer span's wall interval.
+        assert outer_rec.ts_us <= inner_rec.ts_us
+        assert (
+            inner_rec.ts_us + inner_rec.dur_us
+            <= outer_rec.ts_us + outer_rec.dur_us + 1.0
+        )
+
+    def test_reenable_starts_empty(self):
+        tracer, _ = runtime.enable()
+        with runtime.span("first"):
+            pass
+        assert len(tracer.records()) == 1
+        fresh, _ = runtime.enable()
+        assert fresh is not tracer
+        assert fresh.records() == []
+
+    def test_absorb_appends_foreign_records(self):
+        tracer, _ = runtime.enable()
+        foreign = SpanRecord(
+            name="worker-span",
+            cat="pool",
+            ts_us=0.0,
+            dur_us=10.0,
+            sim_ms=1.5,
+            pid=99999,
+            tid="worker",
+        )
+        runtime.absorb([foreign], {})
+        assert foreign in tracer.records()
+
+
+class TestMetrics:
+    def test_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(2.5)
+        reg.gauge("g").set(4.0)
+        hist = reg.histogram("h")
+        for v in (1.0, 3.0, 2.0):
+            hist.observe(v)
+        snap = reg.snapshot()
+        assert snap["counters"]["c"] == 3.5
+        assert snap["gauges"]["g"] == 4.0
+        assert snap["histograms"]["h"] == {
+            "count": 3,
+            "sum": 6.0,
+            "min": 1.0,
+            "max": 3.0,
+        }
+
+    def test_merge_is_order_independent(self):
+        def registry(values):
+            reg = MetricsRegistry()
+            reg.counter("n").inc(values[0])
+            reg.gauge("peak").set(values[1])
+            for v in values[2]:
+                reg.histogram("ms").observe(v)
+            return reg
+
+        parts = [
+            registry((1, 2.0, [5.0, 1.0])),
+            registry((4, 7.0, [2.0])),
+            registry((2, 3.0, [])),
+        ]
+        snaps = [p.snapshot() for p in parts]
+
+        forward = MetricsRegistry()
+        for s in snaps:
+            forward.merge(s)
+        backward = MetricsRegistry()
+        for s in reversed(snaps):
+            backward.merge(s)
+        assert forward.snapshot() == backward.snapshot()
+        merged = forward.snapshot()
+        assert merged["counters"]["n"] == 7
+        assert merged["gauges"]["peak"] == 7.0  # gauges merge by max
+        assert merged["histograms"]["ms"] == {
+            "count": 3,
+            "sum": 8.0,
+            "min": 1.0,
+            "max": 5.0,
+        }
+
+    def test_empty_histogram_summary(self):
+        assert MetricsRegistry().histogram("h").summary() == {
+            "count": 0,
+            "sum": 0.0,
+            "min": None,
+            "max": None,
+        }
+
+
+class TestBridge:
+    @staticmethod
+    def _timeline() -> Timeline:
+        timeline = Timeline()
+        timeline.record("cpu0", "phase1", 0.0, 4.0)
+        timeline.record("gpu0", "kernel", 0.0, 6.0)
+        timeline.record("gpu0", "kernel", 6.0, 2.0)
+        return timeline
+
+    def test_noop_when_disabled(self):
+        bridge_timeline(self._timeline(), "timeline/t")
+        assert runtime.get_tracer().records() == []
+
+    def test_bridges_spans_and_counters(self):
+        tracer, metrics = runtime.enable()
+        bridge_timeline(self._timeline(), "timeline/t")
+        names = [r.name for r in tracer.records()]
+        assert "timeline/t" in names
+        assert "timeline/t/gpu0:kernel" in names
+        root = next(r for r in tracer.records() if r.name == "timeline/t")
+        assert root.sim_ms == pytest.approx(8.0)  # timeline.total_ms
+        snap = metrics.snapshot()
+        assert snap["counters"]["sim.timeline_spans"] == 3
+        assert snap["counters"]["sim.kernel_launches"] == 2
+
+
+class TestExport:
+    @staticmethod
+    def _record_some() -> tuple[RecordingTracer, MetricsRegistry]:
+        tracer, metrics = runtime.enable()
+        with runtime.span("estimate/cant", cat="core") as sp:
+            sp.add_sim_ms(3.0)
+            with runtime.span("sample/cant", cat="core") as inner:
+                inner.add_sim_ms(1.0)
+        with runtime.span("estimate/cant", cat="core") as sp:
+            sp.add_sim_ms(5.0)
+        runtime.counter("search.evaluations").inc(12)
+        return tracer, metrics
+
+    def test_chrome_trace_structure(self):
+        tracer, metrics = self._record_some()
+        trace = to_chrome_trace(
+            tracer.records(), metrics.snapshot(), meta={"seed": 1}
+        )
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        x_events = [e for e in events if e["ph"] == "X"]
+        assert len(x_events) == 3
+        for e in x_events:
+            assert {"name", "cat", "ph", "ts", "dur", "pid", "tid"} <= set(e)
+            assert e["args"]["sim_ms"] >= 0.0
+        assert any(e["ph"] == "M" and e["name"] == "process_name" for e in events)
+        assert trace["otherData"]["meta"]["seed"] == 1
+        assert (
+            trace["otherData"]["metrics"]["counters"]["search.evaluations"] == 12
+        )
+
+    def test_write_load_roundtrip_and_aggregates(self, tmp_path):
+        tracer, metrics = self._record_some()
+        path = write_trace(
+            tmp_path / "trace.json", tracer.records(), metrics.snapshot()
+        )
+        events, loaded_metrics = load_trace(path)
+        assert loaded_metrics["counters"]["search.evaluations"] == 12
+        agg = aggregate_events(events)
+        assert agg == aggregate_records(tracer.records())
+        assert agg["estimate/cant"]["count"] == 2
+        assert agg["estimate/cant"]["sim_ms"] == pytest.approx(8.0)
+        assert agg["sample/cant"]["count"] == 1
+
+    def test_render_summary_and_diff(self):
+        tracer, metrics = self._record_some()
+        agg = aggregate_records(tracer.records())
+        text = render_summary(agg, metrics.snapshot())
+        assert "estimate/cant" in text
+        assert "search.evaluations" in text
+        same = diff_aggregates(agg, agg, metrics.snapshot(), metrics.snapshot())
+        assert "identical" in same
+        bumped = {k: dict(v) for k, v in agg.items()}
+        bumped["estimate/cant"]["count"] += 1
+        assert "estimate/cant" in diff_aggregates(agg, bumped)
+
+
+class TestCorruptTraces:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError):
+            load_trace(tmp_path / "nope.json")
+
+    def test_truncated_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text('{"traceEvents": [{"name": "a", "ph"')
+        with pytest.raises(ValidationError):
+            load_trace(path)
+
+    def test_missing_trace_events_key(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps({"otherData": {}}))
+        with pytest.raises(ValidationError):
+            load_trace(path)
+
+    def test_x_event_missing_duration(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(
+            json.dumps(
+                {"traceEvents": [{"name": "a", "ph": "X", "ts": 0}]}
+            )
+        )
+        with pytest.raises(ValidationError):
+            load_trace(path)
+
+
+class TestObsCli:
+    @staticmethod
+    def _write_valid(tmp_path, stem="trace"):
+        tracer, metrics = runtime.enable()
+        with runtime.span("estimate/cant", cat="core") as sp:
+            sp.add_sim_ms(3.0)
+        runtime.counter("search.evaluations").inc(4)
+        path = write_trace(
+            tmp_path / f"{stem}.json", tracer.records(), metrics.snapshot()
+        )
+        runtime.disable()
+        return path
+
+    def test_summary(self, tmp_path, capsys):
+        path = self._write_valid(tmp_path)
+        assert obs_main(["summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "estimate/cant" in out
+
+    def test_diff_identical(self, tmp_path, capsys):
+        a = self._write_valid(tmp_path, "a")
+        b = self._write_valid(tmp_path, "b")
+        assert obs_main(["diff", str(a), str(b)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_corrupt_trace_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"traceEvents": [')  # truncated mid-write
+        assert obs_main(["summary", str(bad)]) == 2
+        assert capsys.readouterr().err.strip()
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert obs_main(["summary", str(tmp_path / "absent.json")]) == 2
+        assert capsys.readouterr().err.strip()

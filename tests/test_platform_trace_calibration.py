@@ -1,8 +1,14 @@
-"""Tests for repro.platform.trace and repro.platform.calibration."""
+"""Tests for repro.obs.timeline_view and repro.platform.calibration."""
 
 import numpy as np
 import pytest
 
+from repro.obs.timeline_view import (
+    critical_summary,
+    idle_spans,
+    render_gantt,
+    utilization,
+)
 from repro.platform.calibration import (
     calibrate_profile,
     fit_efficiency,
@@ -11,12 +17,6 @@ from repro.platform.calibration import (
 from repro.platform.costmodel import KernelProfile, effective_rate_per_ms
 from repro.platform.device import cpu_xeon_e5_2650_dual, gpu_tesla_k40c
 from repro.platform.timeline import Timeline
-from repro.platform.trace import (
-    critical_summary,
-    idle_spans,
-    render_gantt,
-    utilization,
-)
 from repro.util.errors import ValidationError
 
 CPU = cpu_xeon_e5_2650_dual()

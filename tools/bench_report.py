@@ -13,9 +13,14 @@ which
    the engine's cache hit rate, and the worker count, and
 3. when a checked-in baseline exists (``benchmarks/BENCH_BASELINE.json``
    by default), fails with exit code 2 if any benchmark's mean regressed
-   by more than ``--max-regression`` (default 25%).
+   by more than ``--max-regression`` (default 25%), and
+4. records an observability trace for the Figure 3 pipeline
+   (``OBS_TRACE_<date>.json`` next to the report, skippable with
+   ``--no-obs-trace``) so every benchmark artifact ships with the
+   span/metric breakdown that explains it (docs/OBSERVABILITY.md).
 
-Exit codes: 0 OK, 1 benchmark suite failed, 2 regression detected.
+Exit codes: 0 OK, 1 benchmark suite failed, 2 regression detected.  A
+failed trace recording warns but never fails the job.
 """
 
 from __future__ import annotations
@@ -93,6 +98,47 @@ def distill(raw: dict, engine_stats: dict) -> dict:
     }
 
 
+def record_obs_trace(out_dir: Path, date: str) -> Path | None:
+    """Record ``OBS_TRACE_<date>.json`` for the fig3 pipeline.
+
+    Runs the same experiment family the benchmarks exercise, at a small
+    scale and uncached (a cache-warm run would trace nothing but hits).
+    Returns the trace path, or ``None`` when recording failed.
+    """
+    out_dir.mkdir(parents=True, exist_ok=True)
+    trace_path = out_dir / f"OBS_TRACE_{date}.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        f"{REPO_ROOT / 'src'}{os.pathsep}{env['PYTHONPATH']}"
+        if env.get("PYTHONPATH")
+        else str(REPO_ROOT / "src")
+    )
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro.experiments",
+        "--figure",
+        "fig3",
+        "--scale",
+        str(1 / 64),
+        "--no-cache",
+        "--obs-out",
+        str(trace_path),
+    ]
+    print(f"$ {' '.join(cmd)}", flush=True)
+    proc = subprocess.run(
+        cmd, cwd=REPO_ROOT, env=env, stdout=subprocess.DEVNULL
+    )
+    if proc.returncode != 0 or not trace_path.exists():
+        print(
+            f"warning: obs trace recording failed (exit {proc.returncode}); "
+            "benchmark report is unaffected",
+            file=sys.stderr,
+        )
+        return None
+    return trace_path
+
+
 def check_regressions(
     report: dict, baseline: dict, max_regression: float
 ) -> list[str]:
@@ -139,6 +185,11 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed fractional mean-time regression (default: 0.25)",
     )
     parser.add_argument(
+        "--no-obs-trace",
+        action="store_true",
+        help="skip recording the OBS_TRACE_<date>.json observability trace",
+    )
+    parser.add_argument(
         "pytest_args",
         nargs="*",
         help="extra arguments forwarded to pytest (after --)",
@@ -160,6 +211,11 @@ def main(argv: list[str] | None = None) -> int:
         f"engine: workers={report['workers']}, cache {cache['hits']} hit(s) / "
         f"{cache['misses']} miss(es) ({100 * cache['hit_rate']:.1f}% hit rate)"
     )
+
+    if not args.no_obs_trace:
+        trace_path = record_obs_trace(args.out_dir, report["date"])
+        if trace_path is not None:
+            print(f"wrote {trace_path}")
 
     if args.baseline.exists():
         baseline = json.loads(args.baseline.read_text())

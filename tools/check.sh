@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Local gate, mirroring .github/workflows/ci.yml step for step: the
 # repo-invariant lint (src/repro, which includes the src/repro/engine
-# package), the engine test suite, then the full tier-1 test suite.
+# package), the API surface snapshot (docs/API.md vs the live surface),
+# the engine test suite, then the full tier-1 test suite.
 # Run from the repository root:
 #
-#     tools/check.sh            # lint + engine tests + tier-1 tests
+#     tools/check.sh            # lint + API snapshot + engine + tier-1 tests
 #     tools/check.sh --lint-only
 set -euo pipefail
 
@@ -18,6 +19,10 @@ python -m repro.analysis lint src/repro
 if [[ "${1:-}" == "--lint-only" ]]; then
     exit 0
 fi
+
+echo
+echo "== API surface snapshot (docs/API.md) =="
+python -m pytest -x -q tests/test_api_surface.py
 
 echo
 echo "== engine tests =="
