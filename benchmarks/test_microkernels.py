@@ -8,13 +8,28 @@ vectorized implementations are visible in isolation.
 import numpy as np
 import pytest
 
+from repro.core.oracle import exhaustive_oracle
 from repro.graphs.graph import Graph
 from repro.graphs.partition import CutProfile
 from repro.graphs.shiloach_vishkin import shiloach_vishkin
+from repro.hetero.spmm import SpmmProblem
+from repro.platform.machine import paper_testbed
 from repro.sparse.sampling import sample_submatrix
 from repro.sparse.spgemm import estimate_compression, load_vector, spgemm
 from repro.workloads.band import banded_matrix
 from repro.workloads.rmat import rmat_matrix
+
+
+class _ScalarOnlyView:
+    """A problem with ``evaluate_many`` hidden: forces the scalar sweep."""
+
+    def __init__(self, problem):
+        self._problem = problem
+
+    def __getattr__(self, attr):
+        if attr == "evaluate_many":
+            raise AttributeError(attr)
+        return getattr(self._problem, attr)
 
 
 @pytest.fixture(scope="module")
@@ -63,3 +78,25 @@ def test_cut_profile_construction(benchmark, web_graph):
 def test_workload_generation(benchmark):
     m = benchmark(banded_matrix, 20_000, 25.0, 0.08, 2.4, 6, 0.35, 42)
     assert m.n_rows == 20_000
+
+
+@pytest.fixture(scope="module")
+def sweep_problem(band):
+    return SpmmProblem(band, paper_testbed(time_scale=1 / 16), name="band-4000")
+
+
+def test_oracle_sweep_batched(benchmark, sweep_problem):
+    """The vectorized full-grid sweep (docs/PERFORMANCE.md).
+
+    tools/bench_report.py divides the scalar sweep's mean by this one's
+    into the report's ``sweep_speedup`` coverage number.
+    """
+    result = benchmark(exhaustive_oracle, sweep_problem)
+    assert result.n_evaluations == len(sweep_problem.threshold_grid())
+
+
+def test_oracle_sweep_scalar(benchmark, sweep_problem):
+    """The same sweep with batch pricing hidden: one evaluate_ms per point."""
+    result = benchmark(exhaustive_oracle, _ScalarOnlyView(sweep_problem))
+    # Both paths must select identical bits (the PERFORMANCE.md contract).
+    assert result == exhaustive_oracle(sweep_problem)

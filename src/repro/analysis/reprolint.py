@@ -42,6 +42,18 @@ Rules
     they expose submodules, not names.  The public API surface
     (docs/API.md) is generated from ``__all__``, so an unlisted name is an
     undocumented export.
+``PERF001``
+    No scalar ``*.evaluate_ms(...)`` probe inside a loop (or
+    comprehension) over a threshold grid in ``repro/core`` /
+    ``repro/experiments``.  A grid iterable is recognized by name
+    (``grid`` / ``thresholds`` / ``points`` / ``candidates`` tokens), by
+    construction (``np.arange`` / ``np.linspace`` / ``*.threshold_grid()``),
+    or by subscripting either.  Price the whole grid in one pass with
+    :func:`repro.core.problem.evaluate_grid` (which dispatches to a
+    problem's vectorized ``evaluate_many`` — see docs/PERFORMANCE.md);
+    the two sanctioned scalar loops (the ``evaluate_grid`` fallback
+    itself and the oracle pool worker's chunk loop) carry line
+    suppressions.
 
 Suppression
 -----------
@@ -69,6 +81,7 @@ RULES: dict[str, str] = {
     "FLT001": "== / != on a float expression in core/platform",
     "ARG001": "mutable default argument",
     "API001": "public name in a repro package __init__ missing from __all__",
+    "PERF001": "scalar evaluate_ms probe inside a loop over a threshold grid",
     "SYN001": "file does not parse",
 }
 
@@ -77,6 +90,11 @@ SIM_SCOPES = ("repro/platform", "repro/hetero", "repro/core")
 
 #: Directories where float equality is flagged.
 FLT_SCOPES = ("repro/core", "repro/platform")
+
+#: Directories where scalar grid sweeps are flagged (PERF001): the layers
+#: that hold searches/oracles and the experiment drivers — the places a
+#: stray scalar loop silently forfeits the batched-pricing fast path.
+PERF_SCOPES = ("repro/core", "repro/experiments")
 
 #: The one module allowed to touch numpy's RNG constructors directly.
 RNG_MODULE_SUFFIX = "repro/util/rng.py"
@@ -116,6 +134,18 @@ _EXEMPT_TOKENS = frozenset(
     "ratio fraction frac pct percent count scale factor rate".split()
 )
 _UNIT_SUFFIXES = ("_ms", "_us", "_ns", "_s", "_sec", "_seconds")
+
+#: Name tokens that mark an iterable as "a grid of candidate thresholds"
+#: for PERF001 (``for t in grid``, ``for t in fine_thresholds``, ...).
+_GRID_NAME_TOKENS = frozenset("grid thresholds points candidates".split())
+
+#: Calls whose result is a candidate grid even without a grid-ish name.
+_GRID_CALL_NAMES = {
+    "np.arange",
+    "numpy.arange",
+    "np.linspace",
+    "numpy.linspace",
+}
 
 _SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
 
@@ -168,6 +198,31 @@ def _is_mutable_literal(node: ast.expr) -> bool:
     return False
 
 
+def _is_grid_iterable(node: ast.expr) -> bool:
+    """Whether a loop iterable syntactically looks like a threshold grid.
+
+    Recognized: names/attributes carrying a grid token (``grid``,
+    ``thresholds``, ...), grid-constructing calls (``np.arange``,
+    ``np.linspace``, anything named ``*threshold_grid``), and subscripts
+    of either (``grid[1:]``).  Deliberately conservative: ``range(...)``
+    and entity lists (``for name in names``) are not grids.
+    """
+    if isinstance(node, ast.Subscript):
+        return _is_grid_iterable(node.value)
+    if isinstance(node, ast.Call):
+        dotted = _dotted(node.func)
+        if dotted is None:
+            return False
+        if dotted in _GRID_CALL_NAMES:
+            return True
+        tail = dotted.split(".")[-1]
+        return any(t in _GRID_NAME_TOKENS for t in _tokens(tail))
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        name = node.id if isinstance(node, ast.Name) else node.attr
+        return any(t in _GRID_NAME_TOKENS for t in _tokens(name))
+    return False
+
+
 class _Linter(ast.NodeVisitor):
     def __init__(self, path: str) -> None:
         self.path = path
@@ -175,6 +230,10 @@ class _Linter(ast.NodeVisitor):
         self.is_rng_module = posix.endswith(RNG_MODULE_SUFFIX)
         self.in_sim_scope = any(f"{s}/" in posix or posix.endswith(s) for s in SIM_SCOPES)
         self.in_flt_scope = any(f"{s}/" in posix or posix.endswith(s) for s in FLT_SCOPES)
+        self.in_perf_scope = any(f"{s}/" in posix or posix.endswith(s) for s in PERF_SCOPES)
+        #: How many enclosing for-loops/comprehensions iterate a grid
+        #: (PERF001 fires on evaluate_ms calls while this is positive).
+        self._grid_loop_depth = 0
         #: Dotted package name when this file is a repro package __init__
         #: (e.g. ``repro.obs`` for ``src/repro/obs/__init__.py``), else None.
         self.package: str | None = None
@@ -360,7 +419,44 @@ class _Linter(ast.NodeVisitor):
                     f"wall-clock read {wall_name}() in simulator code; the "
                     "simulated clock is repro.platform.timeline.Timeline",
                 )
+        if (
+            self._grid_loop_depth > 0
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "evaluate_ms"
+        ):
+            self._add(
+                "PERF001",
+                node,
+                "scalar evaluate_ms inside a loop over a threshold grid; "
+                "price the whole grid in one pass via "
+                "repro.core.problem.evaluate_grid (docs/PERFORMANCE.md)",
+            )
         self.generic_visit(node)
+
+    # -- grid loops (PERF001) ----------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        entered = self.in_perf_scope and _is_grid_iterable(node.iter)
+        if entered:
+            self._grid_loop_depth += 1
+        self.generic_visit(node)
+        if entered:
+            self._grid_loop_depth -= 1
+
+    def _visit_comprehension(self, node: ast.expr) -> None:
+        entered = self.in_perf_scope and any(
+            _is_grid_iterable(gen.iter) for gen in node.generators
+        )
+        if entered:
+            self._grid_loop_depth += 1
+        self.generic_visit(node)
+        if entered:
+            self._grid_loop_depth -= 1
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
 
     # -- names (UNIT001) ---------------------------------------------------
 

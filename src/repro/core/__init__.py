@@ -19,7 +19,7 @@ NaiveAverage, GPU-only, the exhaustive oracle) live in
 :mod:`repro.core.baselines` and :mod:`repro.core.oracle`.
 """
 
-from repro.core.problem import PartitionProblem
+from repro.core.problem import PartitionProblem, evaluate_grid, has_batch_pricing
 from repro.core.search import (
     SearchStrategy,
     SearchResult,
@@ -48,6 +48,8 @@ from repro.core.baselines import (
 
 __all__ = [
     "PartitionProblem",
+    "evaluate_grid",
+    "has_batch_pricing",
     "SearchStrategy",
     "SearchResult",
     "ExhaustiveSearch",

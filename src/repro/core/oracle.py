@@ -11,7 +11,10 @@ The sweep is embarrassingly parallel across grid points, so
 over a :class:`repro.engine.parallel.ParallelMap`.  The parallel path
 reassembles the evaluation log in grid order and applies the same
 first-strict-minimum tie-breaking and left-fold cost sum as the serial
-sweep, so both paths return bit-identical results.
+sweep, so both paths return bit-identical results.  Problems that publish
+batched pricing tables (``evaluate_many`` — see docs/PERFORMANCE.md) skip
+the pool entirely: the serial sweep already prices the whole grid in one
+vectorized call, which is faster than any fan-out.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.problem import PartitionProblem
+from repro.core.problem import PartitionProblem, has_batch_pricing
 from repro.core.search import ExhaustiveSearch, SearchResult
 from repro.obs import runtime as _obs
 from repro.util.errors import SearchError
@@ -71,7 +74,7 @@ class OracleResult:
 def _evaluate_thresholds(args: tuple[PartitionProblem, list[float]]) -> list[tuple[float, float]]:
     """One worker's share of the sweep: probe a contiguous grid chunk."""
     problem, thresholds = args
-    return [(t, problem.evaluate_ms(t)) for t in thresholds]
+    return [(t, problem.evaluate_ms(t)) for t in thresholds]  # reprolint: disable=PERF001 -- the pool worker's scalar chunk loop
 
 
 def exhaustive_oracle(
@@ -79,15 +82,25 @@ def exhaustive_oracle(
 ) -> OracleResult:
     """Sweep the full grid on the full input; exact but impractical.
 
-    With a *parallel_map* (``repro.engine.parallel.ParallelMap``) of more
-    than one worker, the per-threshold evaluations fan out over contiguous
-    grid chunks; the result is bit-identical to the serial sweep.  The
-    ``oracle/<problem>`` obs span and ``oracle.evaluations`` counter are
-    recorded here — once, for either path — so serial and pooled runs
-    produce identical aggregates.
+    Problems with batch pricing (``evaluate_many``; see
+    ``docs/PERFORMANCE.md``) take the vectorized serial sweep regardless of
+    *parallel_map*: one array call beats fanning scalar probes out over a
+    process pool, and picking the path by capability — before looking at
+    the worker count — keeps serial and pooled configurations on the same
+    arithmetic.  Scalar-only problems with a *parallel_map*
+    (``repro.engine.parallel.ParallelMap``) of more than one worker fan the
+    per-threshold evaluations out over contiguous grid chunks; that path is
+    bit-identical to the serial sweep.  The ``oracle/<problem>`` obs span
+    and ``oracle.evaluations`` counter are recorded here — once, for any
+    path — so all configurations produce identical aggregates.
     """
     with _obs.span(f"oracle/{problem.name}", cat="core") as sp:
-        if parallel_map is not None and parallel_map.workers > 1:
+        use_pool = (
+            not has_batch_pricing(problem)
+            and parallel_map is not None
+            and parallel_map.workers > 1
+        )
+        if use_pool:
             oracle = _parallel_oracle(problem, parallel_map)
         else:
             result: SearchResult = ExhaustiveSearch().minimize(problem)
@@ -113,8 +126,10 @@ def _parallel_oracle(problem: PartitionProblem, parallel_map) -> OracleResult:
         raise SearchError("empty threshold grid")
     thresholds = [float(t) for t in grid]
     # A few chunks per worker amortizes per-task pickling of the problem
-    # while keeping the pool busy even when chunk costs are uneven.
-    chunks = chunked(thresholds, parallel_map.workers * 4)
+    # while keeping the pool busy even when chunk costs are uneven.  Grids
+    # smaller than the chunk count produce empty tails; dropping them saves
+    # the pool round trips that would return nothing.
+    chunks = [c for c in chunked(thresholds, parallel_map.workers * 4) if c]
     logs = parallel_map.map(_evaluate_thresholds, [(problem, c) for c in chunks])
     log = [pair for chunk_log in logs for pair in chunk_log]
     # Identical reduction to ExhaustiveSearch.minimize: first strict

@@ -67,3 +67,49 @@ class PartitionProblem(Protocol):
     def gpu_only_threshold(self) -> float:
         """The threshold that sends all work to the GPU (the "Naive" bar)."""
         ...
+
+
+#: Problems may additionally implement the *optional* batched-pricing hook
+#:
+#:     evaluate_many(thresholds: np.ndarray) -> np.ndarray
+#:
+#: pricing a whole threshold grid in one vectorized pass over O(n)
+#: precomputed tables (see ``repro.platform.costmodel.PricingTables`` and
+#: docs/PERFORMANCE.md).  It must agree with ``evaluate_ms`` point for
+#: point; the scalar method stays the semantic ground truth.  The hook is
+#: deliberately not part of the protocol above: problems opt in, and
+#: callers go through :func:`evaluate_grid`, which falls back to a scalar
+#: loop for problems that don't.
+
+
+def has_batch_pricing(problem: PartitionProblem) -> bool:
+    """Whether *problem* opts into vectorized grid pricing.
+
+    True when the problem exposes a callable ``evaluate_many``; searches
+    and the oracle use this to pick the vectorized fast path over the
+    scalar loop (or the process-pool fan-out).
+    """
+    return callable(getattr(problem, "evaluate_many", None))
+
+
+def evaluate_grid(problem: PartitionProblem, grid: np.ndarray) -> np.ndarray:
+    """Price every threshold in *grid*, batched when the problem allows.
+
+    Returns a float64 array aligned with *grid*.  Problems with an
+    ``evaluate_many`` hook price the whole grid in one vectorized pass;
+    everything else falls back to one ``evaluate_ms`` call per point —
+    identical semantics, scalar speed.
+    """
+    grid = np.asarray(grid, dtype=np.float64)
+    if has_batch_pricing(problem):
+        ms = np.asarray(problem.evaluate_many(grid), dtype=np.float64)
+        if ms.shape != grid.shape:
+            raise ValueError(
+                f"evaluate_many returned shape {ms.shape} for grid shape "
+                f"{grid.shape} on problem {problem.name!r}"
+            )
+        return ms
+    return np.array(
+        [problem.evaluate_ms(float(t)) for t in grid],  # reprolint: disable=PERF001 -- the scalar fallback *is* the loop
+        dtype=np.float64,
+    )

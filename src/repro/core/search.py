@@ -26,7 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.problem import PartitionProblem
+from repro.core.problem import PartitionProblem, evaluate_grid
 from repro.obs import runtime as _obs
 from repro.util.errors import SearchError
 
@@ -125,18 +125,20 @@ def _traced(minimize_fn):
 def _evaluate_grid(
     problem: PartitionProblem, grid: np.ndarray
 ) -> tuple[list[tuple[float, float]], float, float]:
-    """Probe every point of *grid*; return (log, best_t, best_ms)."""
+    """Probe every point of *grid*; return (log, best_t, best_ms).
+
+    Problems with batch pricing (:func:`repro.core.problem.evaluate_grid`)
+    price the whole grid in one vectorized call; a scalar loop covers the
+    rest.  Either way the log holds every point in grid order and the
+    winner is the first strict minimum (``np.argmin`` returns the first
+    occurrence), so both paths are interchangeable bit for bit.
+    """
     if grid.size == 0:
         raise SearchError("empty threshold grid")
-    log: list[tuple[float, float]] = []
-    best_t = float(grid[0])
-    best_ms = float("inf")
-    for t in grid:
-        ms = problem.evaluate_ms(float(t))
-        log.append((float(t), ms))
-        if ms < best_ms:
-            best_t, best_ms = float(t), ms
-    return log, best_t, best_ms
+    ms_arr = evaluate_grid(problem, grid)
+    log = [(float(t), float(ms)) for t, ms in zip(grid, ms_arr)]
+    j = int(np.argmin(ms_arr))
+    return log, float(grid[j]), float(ms_arr[j])
 
 
 class ExhaustiveSearch(SearchStrategy):
@@ -193,15 +195,15 @@ class CoarseToFineSearch(SearchStrategy):
         resolution = float(grid[1] - grid[0]) if grid.size > 1 else 1.0
         stride = self.coarse_step * resolution
         fine = grid[(grid >= best_t - stride) & (grid <= best_t + stride)][:: self.fine_step]
-        for t in fine:
-            t = float(t)
-            if t in probed:
-                continue
-            ms = problem.evaluate_ms(t)
-            log.append((t, ms))
-            probed.add(t)
-            if ms < best_ms:
-                best_t, best_ms = t, ms
+        todo = [float(t) for t in fine if float(t) not in probed]
+        if todo:
+            fine_ms = evaluate_grid(problem, np.asarray(todo, dtype=np.float64))
+            for t, ms in zip(todo, fine_ms):
+                ms = float(ms)
+                log.append((t, ms))
+                probed.add(t)
+                if ms < best_ms:
+                    best_t, best_ms = t, ms
         return SearchResult(
             threshold=best_t,
             value_ms=best_ms,
@@ -253,13 +255,10 @@ class RaceCoarseSearch(SearchStrategy):
             fine = np.array([grid[np.argmin(np.abs(grid - coarse_t))]])
         probed = {t for t, _ in log}
         best_t, best_ms = None, float("inf")
-        for t in fine:
-            t = float(t)
-            if t in probed:
-                continue
-            ms = problem.evaluate_ms(t)
-            log.append((t, ms))
-            probed.add(t)
+        todo = [float(t) for t in fine if float(t) not in probed]
+        if todo:
+            fine_ms = evaluate_grid(problem, np.asarray(todo, dtype=np.float64))
+            log.extend((t, float(ms)) for t, ms in zip(todo, fine_ms))
         for t, ms in log:
             if ms < best_ms:
                 best_t, best_ms = t, ms

@@ -33,13 +33,17 @@ class EngineStats:
     ``computed_evaluations`` counts *problem evaluations* (threshold
     probes) performed for cache misses, as reported by the caller's
     ``count`` hook — the number the determinism suite pins to zero for a
-    warm-cache run.
+    warm-cache run.  ``batched_evaluations`` is the subset of those probes
+    that went through a vectorized ``evaluate_many`` sweep instead of
+    scalar ``evaluate_ms`` calls (the caller's ``count_batched`` hook);
+    the benchmark report uses the ratio to show batch-pricing coverage.
     """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     computed_evaluations: int = 0
+    batched_evaluations: int = 0
 
     def snapshot(self) -> dict:
         return {
@@ -47,6 +51,7 @@ class EngineStats:
             "misses": self.misses,
             "stores": self.stores,
             "computed_evaluations": self.computed_evaluations,
+            "batched_evaluations": self.batched_evaluations,
         }
 
     @property
@@ -77,6 +82,7 @@ class Engine:
         encode: Callable[[_R], dict] | None = None,
         decode: Callable[[dict], _R] | None = None,
         count: Callable[[_R], int] | None = None,
+        count_batched: Callable[[_T, _R], int] | None = None,
         parallel: bool = True,
     ) -> list[_R]:
         """``[fn(p) for p in payloads]`` with caching and fan-out.
@@ -99,6 +105,12 @@ class Engine:
         count:
             Maps a *freshly computed* result to its problem-evaluation
             count for :attr:`EngineStats.computed_evaluations`.
+        count_batched:
+            Maps a freshly computed ``(payload, result)`` pair to how many
+            of its evaluations were priced through a vectorized
+            ``evaluate_many`` sweep, for
+            :attr:`EngineStats.batched_evaluations`.  The payload is
+            passed so the hook can inspect the problem's capability.
         """
         payloads = list(payloads)
         keys: list[dict | None] = (
@@ -132,6 +144,10 @@ class Engine:
                 results[i] = result
                 if count is not None:
                     self.stats.computed_evaluations += int(count(result))
+                if count_batched is not None:
+                    self.stats.batched_evaluations += int(
+                        count_batched(payloads[i], result)
+                    )
                 if self.cache is not None and keys[i] is not None:
                     record = encode(result) if encode is not None else result
                     self.cache.put(keys[i], record)
@@ -164,6 +180,7 @@ def aggregate_stats() -> dict:
         total.misses += engine.stats.misses
         total.stores += engine.stats.stores
         total.computed_evaluations += engine.stats.computed_evaluations
+        total.batched_evaluations += engine.stats.batched_evaluations
         max_workers = max(max_workers, engine.workers)
     return {**total.snapshot(), "hit_rate": total.hit_rate, "workers": max_workers}
 

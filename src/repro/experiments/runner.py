@@ -7,8 +7,10 @@ across the whole suite first.  This module implements that protocol once.
 
 Execution goes through the config's :class:`repro.engine.Engine`:
 
-* the exhaustive oracle fans its per-threshold evaluations out over the
-  engine's worker pool (see :func:`repro.core.oracle.exhaustive_oracle`);
+* the exhaustive oracle prices its grid in one vectorized sweep on
+  problems with batch pricing, and falls back to fanning per-threshold
+  evaluations out over the engine's worker pool otherwise (see
+  :func:`repro.core.oracle.exhaustive_oracle` and docs/PERFORMANCE.md);
 * the per-dataset estimate/baseline pass fans out across datasets;
 * the sensitivity grids (Figures 4/6/9) fan out across their
   (sample size, draw) units.
@@ -32,7 +34,7 @@ from repro.core.baselines import (
 )
 from repro.core.framework import SamplingPartitioner
 from repro.core.oracle import OracleResult, exhaustive_oracle
-from repro.core.problem import PartitionProblem
+from repro.core.problem import PartitionProblem, has_batch_pricing
 from repro.core.search import (
     CoarseToFineSearch,
     GradientDescentSearch,
@@ -235,6 +237,9 @@ def run_study(
         encode=OracleResult.to_record,
         decode=OracleResult.from_record,
         count=lambda o: o.n_evaluations,
+        # Problems with pricing tables sweep their grid in one vectorized
+        # call; the stat lets the bench report show batch coverage.
+        count_batched=lambda p, o: o.n_evaluations if has_batch_pricing(p) else 0,
         parallel=False,
     )
     naive_avg = naive_average_threshold([o.threshold for o in oracles])
@@ -317,6 +322,9 @@ def sensitivity_sweep(
             payloads,
             key_fields=keys,
             count=lambda r: r["n_evaluations"],
+            count_batched=lambda p, r: (
+                r["n_evaluations"] if has_batch_pricing(p[0]) else 0
+            ),
         )
     else:
         results = [_sweep_task(p) for p in payloads]

@@ -150,3 +150,32 @@ class CutProfile:
         """
         self._check(k)
         return int(self._degree_prefix_max[k])
+
+    # -- vectorized accessors (batched threshold pricing) --------------------
+
+    def _check_many(self, ks: np.ndarray) -> np.ndarray:
+        ks = np.asarray(ks, dtype=_INDEX)
+        if ks.size and (int(ks.min()) < 0 or int(ks.max()) > self._n):
+            raise ValidationError(f"cuts out of range [0, {self._n}]")
+        return ks
+
+    def m_cpu_many(self, ks: np.ndarray) -> np.ndarray:
+        """``m_cpu`` over an array of cuts (one table gather)."""
+        return self._edges_below[self._check_many(ks)]
+
+    def m_gpu_many(self, ks: np.ndarray) -> np.ndarray:
+        """``m_gpu`` over an array of cuts."""
+        return self._edges_at_or_above[self._check_many(ks)]
+
+    def m_cross_many(self, ks: np.ndarray) -> np.ndarray:
+        """``m_cross`` over an array of cuts."""
+        ks = self._check_many(ks)
+        return self._m - self._edges_below[ks] - self._edges_at_or_above[ks]
+
+    def cpu_degree_sum_many(self, ks: np.ndarray) -> np.ndarray:
+        """``cpu_degree_sum`` over an array of cuts."""
+        return self._degree_prefix[self._check_many(ks)]
+
+    def max_degree_below_many(self, ks: np.ndarray) -> np.ndarray:
+        """``max_degree_below`` over an array of cuts."""
+        return self._degree_prefix_max[self._check_many(ks)]

@@ -54,6 +54,7 @@ from repro.platform.costmodel import (
     PROFILE_CC,
     PROFILE_MERGE,
     KernelProfile,
+    PricingTables,
     effective_rate_per_ms,
 )
 from repro.platform.machine import HeterogeneousMachine
@@ -179,10 +180,9 @@ class CcProblem:
                     raise ValidationError(
                         f"rep_work must have shape ({graph.n},)"
                     )
-            self._rep_prefix = np.concatenate(([0.0], np.cumsum(rep_work)))
-            self._atom_prefix_max = np.concatenate(
-                ([0.0], np.maximum.accumulate(atom))
-            )
+            tables = PricingTables.build(rep_work, atom=atom)
+            self._rep_prefix = tables.rep_prefix
+            self._atom_prefix_max = tables.prefix_max
         else:
             if rep_work is not None:
                 raise ValidationError("rep_work requires vertex_weights")
@@ -214,6 +214,83 @@ class CcProblem:
     def timeline(self, threshold: float) -> Timeline:
         """Full span-level trace of Phase II at *threshold*."""
         return self._phase2(threshold)
+
+    def evaluate_many(self, thresholds: np.ndarray) -> np.ndarray:
+        """Batched :meth:`evaluate_ms` over a threshold array.
+
+        One vectorized pass over the O(1)-per-cut tables (the
+        :class:`~repro.graphs.partition.CutProfile` for full instances,
+        the sampled-instance :class:`PricingTables`), mirroring the scalar
+        evaluator's float64 arithmetic operation for operation so both
+        paths price a threshold bit-identically (docs/PERFORMANCE.md).
+        """
+        ts = np.asarray(thresholds, dtype=np.float64)
+        if ts.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        if float(ts.min()) < 0.0 or float(ts.max()) > 100.0:
+            raise ValidationError("thresholds must be in [0, 100]")
+        n = self.graph.n
+        if n == 0:
+            return np.zeros(ts.shape, dtype=np.float64)
+        n_gpu = np.round(n * ts / 100.0).astype(_INDEX)
+        k = n - n_gpu
+
+        cpu = self.machine.cpu
+        gpu = self.machine.gpu
+        rate_cpu = effective_rate_per_ms(cpu, self.profile)
+        rate_gpu = effective_rate_per_ms(gpu, self.profile)
+        threads = cpu.threads
+
+        # CPU chunked DFS over the prefix [0, k).
+        if self._rep_prefix is not None:
+            cpu_work = self._rep_prefix[k]
+            atom = self._atom_prefix_max[k]
+        else:
+            cpu_work = self.work_scale * (
+                k + self._cut.cpu_degree_sum_many(k)
+            ).astype(np.float64)
+            atom = 1.0 + self._cut.max_degree_below_many(k).astype(np.float64)
+        heaviest = np.maximum(cpu_work / threads, atom)
+        cpu_ms = heaviest / (rate_cpu / threads) + cpu.kernel_launch_us * 1e-3
+
+        # GPU Shiloach-Vishkin over the suffix [k, n).
+        if self._rep_prefix is not None:
+            gpu_work = self._rep_prefix[n] - self._rep_prefix[k]
+        else:
+            gpu_work = self.work_scale * (
+                (n - k) + 2 * self._cut.m_gpu_many(k)
+            ).astype(np.float64)
+        sweep = SV_EFFECTIVE_PASSES * gpu_work / rate_gpu
+        sv_iters = np.where(
+            n_gpu <= 1,
+            1,
+            np.ceil(np.log2(np.maximum(n_gpu, 2))).astype(_INDEX) + 1,
+        )
+        gpu_ms = sweep + sv_iters * gpu.kernel_launch_us * 1e-3
+
+        longest = np.maximum(
+            np.where(k > 0, cpu_ms, 0.0), np.where(n_gpu > 0, gpu_ms, 0.0)
+        )
+
+        # Merge across the cut (runs only when both sides are populated).
+        merge_mask = (k > 0) & (n_gpu > 0)
+        transfer = self.machine.transfer_ms_many(k * _BYTES_PER_VERTEX)
+        m_cross = self._cut.m_cross_many(k)
+        # modeled_merge_iterations uses math.log2; evaluate it once per
+        # distinct cross-edge count so batch and scalar agree bit-exactly.
+        uniq, inverse = np.unique(m_cross, return_inverse=True)
+        merge_iters = np.array(
+            [modeled_merge_iterations(int(c)) for c in uniq], dtype=_INDEX
+        )[inverse].reshape(m_cross.shape)
+        merge_rate = effective_rate_per_ms(gpu, PROFILE_MERGE)
+        merge_ms = (
+            MERGE_EFFECTIVE_PASSES
+            * (2.0 * m_cross.astype(np.float64) + 1.0)
+            / merge_rate
+            + merge_iters * gpu.kernel_launch_us * 1e-3
+        )
+        total = longest + np.where(merge_mask, transfer, 0.0)
+        return total + np.where(merge_mask, merge_ms, 0.0)
 
     def threshold_grid(self) -> np.ndarray:
         return np.arange(0.0, 101.0)

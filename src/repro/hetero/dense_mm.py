@@ -17,7 +17,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.platform.costmodel import PROFILE_DENSE_MM, dense_mm_time
+from repro.platform.costmodel import (
+    PROFILE_DENSE_MM,
+    dense_mm_time,
+    effective_rate_per_ms,
+)
 from repro.platform.machine import HeterogeneousMachine
 from repro.platform.timeline import Timeline
 from repro.util.errors import ValidationError
@@ -62,6 +66,35 @@ class DenseMmProblem:
 
     def evaluate_ms(self, threshold: float) -> float:
         return self._pipeline(threshold).total_ms
+
+    def evaluate_many(self, thresholds: np.ndarray) -> np.ndarray:
+        """Batched :meth:`evaluate_ms` (the regular model vectorizes directly)."""
+        ts = np.asarray(thresholds, dtype=np.float64)
+        if ts.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        if float(ts.min()) < 0.0 or float(ts.max()) > 100.0:
+            raise ValidationError("thresholds must be in [0, 100]")
+        n = self.n
+        if n == 0:
+            return np.zeros(ts.shape, dtype=np.float64)
+        split = np.round(n * ts / 100.0).astype(np.int64)
+        flops_per_row = 2.0 * n * n
+        cpu = self.machine.cpu
+        gpu = self.machine.gpu
+        cpu_ms = (
+            split * flops_per_row / effective_rate_per_ms(cpu, PROFILE_DENSE_MM)
+            + cpu.kernel_launch_us * 1e-3
+        )
+        gpu_ms = (
+            (n - split) * flops_per_row
+            / effective_rate_per_ms(gpu, PROFILE_DENSE_MM)
+            + gpu.kernel_launch_us * 1e-3
+        )
+        longest = np.maximum(
+            np.where(split > 0, cpu_ms, 0.0), np.where(split < n, gpu_ms, 0.0)
+        )
+        d2h = self.machine.transfer_ms_many((n - split) * n * _BYTES_PER_ELEMENT)
+        return longest + np.where(split < n, d2h, 0.0)
 
     def timeline(self, threshold: float) -> Timeline:
         return self._pipeline(threshold)

@@ -171,6 +171,9 @@ class HhCpuProblem:
             self._compression = float(compression)
         else:
             self._compression = estimate_compression(a, a)
+        # Density-sorted batch-pricing tables, built lazily on the first
+        # evaluate_many call (scalar-only users never pay for them).
+        self._batch_cache: dict | None = None
 
     # -- work split at a density threshold -----------------------------------------
 
@@ -201,6 +204,153 @@ class HhCpuProblem:
 
     def evaluate_ms(self, threshold: float) -> float:
         return self._pipeline(threshold).total_ms
+
+    def _batch_tables(self) -> dict:
+        """Density-sorted row tables shared by every evaluate_many call."""
+        if self._batch_cache is None:
+            order = np.argsort(self._d_rows, kind="stable")
+            rank = np.empty(order.size, dtype=_INDEX)
+            rank[order] = np.arange(order.size, dtype=_INDEX)
+            self._batch_cache = {
+                "d_sorted": self._d_rows[order],
+                "rep_sorted": self._rep[order],
+                "mults_sorted": self._row_mults[order],
+                "rank_expanded": rank[self._rows_expanded],
+            }
+        return self._batch_cache
+
+    def evaluate_many(self, thresholds: np.ndarray) -> np.ndarray:
+        """Batched :meth:`evaluate_ms` over an array of density cutoffs.
+
+        One bincount over the nonzeros per threshold chunk buckets each
+        per-nonzero multiply volume by the cutoffs it exceeds; a suffix sum
+        over the buckets yields every row's high-density work ``w_high(r, t)``
+        for all cutoffs at once.  With rows ordered by density the high/low
+        row subsets at any cutoff are a suffix/prefix of that order, so each
+        aggregate the scalar pipeline needs (represented totals, true-work
+        maxima, warp-padded totals) is a prefix/suffix table gathered at the
+        cutoff's row boundary.  Chunking bounds the dense (rows x cutoffs)
+        intermediates.
+        """
+        ts = np.asarray(thresholds, dtype=np.float64)
+        if ts.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        if float(ts.min()) < 0.0:
+            raise ValidationError("density thresholds must be >= 0")
+        n = self.a.n_rows
+        if n == 0:
+            return np.zeros(ts.shape, dtype=np.float64)
+        tb = self._batch_tables()
+        flat = ts.ravel()
+        ts_order = np.argsort(flat, kind="stable")
+        sorted_ts = flat[ts_order]
+        out_sorted = np.empty(sorted_ts.size, dtype=np.float64)
+        chunk = max(1, int(1_500_000 // (n + 1)))
+        for lo in range(0, sorted_ts.size, chunk):
+            tc = sorted_ts[lo : lo + chunk]
+            out_sorted[lo : lo + tc.size] = self._evaluate_chunk(tc, tb)
+        out = np.empty(flat.size, dtype=np.float64)
+        out[ts_order] = out_sorted
+        return out.reshape(ts.shape)
+
+    def _evaluate_chunk(self, tc: np.ndarray, tb: dict) -> np.ndarray:
+        """Price one ascending-sorted chunk of density cutoffs."""
+        n = self.a.n_rows
+        g = tc.size
+        cpu = self.machine.cpu
+        gpu = self.machine.gpu
+        # Bucket b of a nonzero = number of cutoffs strictly below its
+        # contribution, so it counts as "high" work exactly for cutoff
+        # columns j < b; w_high(r, j) is the suffix bucket sum over b > j.
+        pe = np.searchsorted(tc, self._contrib, side="left")
+        buckets = np.bincount(
+            tb["rank_expanded"] * (g + 1) + pe,
+            weights=self._contrib,
+            minlength=n * (g + 1),
+        ).reshape(n, g + 1)
+        w_high = buckets[:, ::-1].cumsum(axis=1)[:, ::-1][:, 1:]
+        del buckets
+        w_low = tb["mults_sorted"][:, None] - w_high
+        w_high *= 2.0  # the scalar split prices 2 * w_* per phase
+        w_low *= 2.0
+        rep_col = tb["rep_sorted"][:, None]
+        quantum = gpu.warp_size * gpu.flops_per_cycle
+
+        def pref(x: np.ndarray) -> np.ndarray:
+            out = np.empty((n + 1, g), dtype=np.float64)
+            out[0] = 0.0
+            np.cumsum(x, axis=0, out=out[1:])
+            return out
+
+        def prefmax(x: np.ndarray) -> np.ndarray:
+            out = np.zeros((n + 1, g), dtype=np.float64)
+            np.maximum.accumulate(x, axis=0, out=out[1:])
+            return out
+
+        def sufmax(x: np.ndarray) -> np.ndarray:
+            out = np.zeros((n + 1, g), dtype=np.float64)
+            out[:n] = np.maximum.accumulate(x[::-1], axis=0)[::-1]
+            return out
+
+        # Rows sorted by density: Low(t) is the prefix of rows with density
+        # <= t, High(t) the complementary suffix.
+        b = np.searchsorted(tb["d_sorted"], tc, side="right")
+        cols = np.arange(g)
+        p_high_rep = pref(w_high * rep_col)
+        p_low_rep = pref(w_low * rep_col)
+        p_pad_low_rep = pref(np.ceil(w_low / quantum) * quantum * rep_col)
+        p_pad_high_rep = pref(np.ceil(w_high / quantum) * quantum * rep_col)
+        smax_high = sufmax(w_high)[b, cols]
+        smax_low = sufmax(w_low)[b, cols]
+        pmax_high = prefmax(w_high)[b, cols]
+        pmax_low = prefmax(w_low)[b, cols]
+        del w_high, w_low
+
+        rate_c = effective_rate_per_ms(cpu, self.profile)
+        rate_g = effective_rate_per_ms(gpu, self.profile)
+        threads = cpu.threads
+        warp_rate = rate_g * gpu.warp_size / gpu.cores
+        cpu_launch = cpu.kernel_launch_us * 1e-3
+        gpu_launch = gpu.kernel_launch_us * 1e-3
+
+        def cpu_chunked(total: np.ndarray, atom: np.ndarray) -> np.ndarray:
+            # atom > 0 exactly when the scalar path's work.sum() is nonzero
+            # (nonnegative work), reproducing its early-out bit for bit.
+            ms = np.maximum(total / threads, atom) / (rate_c / threads) + cpu_launch
+            return np.where(atom > 0.0, ms, 0.0)
+
+        def gpu_warp(padded: np.ndarray, strag: np.ndarray) -> np.ndarray:
+            ms = np.maximum(padded / rate_g, strag / warp_rate) + gpu_launch
+            return np.where(strag > 0.0, ms, 0.0)
+
+        total2c = p_high_rep[n] - p_high_rep[b, cols]  # A_H x B_H, represented
+        total3c = p_low_rep[n] - p_low_rep[b, cols]  # A_H x B_L, represented
+        phase2 = np.maximum(
+            cpu_chunked(total2c, smax_high),
+            gpu_warp(p_pad_low_rep[b, cols], pmax_low),
+        )
+        phase3 = np.maximum(
+            cpu_chunked(total3c, smax_low),
+            gpu_warp(p_pad_high_rep[b, cols], pmax_high),
+        )
+        gpu_mults = (p_low_rep[b, cols] + p_high_rep[b, cols]) / 2.0
+        d2h = self.machine.transfer_ms_many(
+            gpu_mults * self._compression * _BYTES_PER_NNZ
+        )
+        cpu_mults = (total2c + total3c) / 2.0
+        combine_cpu = (
+            COMBINE_FACTOR * cpu_mults / effective_rate_per_ms(cpu, PROFILE_COMBINE)
+        )
+        combine_gpu = gpu_launch + (COMBINE_FACTOR * gpu_mults) / effective_rate_per_ms(
+            gpu, PROFILE_COMBINE
+        )
+        phase1 = (
+            self.work_scale * float(n) / effective_rate_per_ms(cpu, PROFILE_ROW_GATHER)
+            + cpu_launch
+        )
+        return (
+            ((phase1 + phase2) + phase3) + d2h
+        ) + np.maximum(combine_cpu, combine_gpu)
 
     def timeline(self, threshold: float) -> Timeline:
         return self._pipeline(threshold)

@@ -106,6 +106,24 @@ class RangeCutProfile:
         corner = self._cum[lo - 1, lo - 1] if lo else 0
         return int(total - left - top + corner)
 
+    def within_many(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`within` over aligned percent-range arrays.
+
+        Callers guarantee ``0 <= a <= b <= 100`` elementwise (the threshold
+        vectors were validated already); empty ranges yield 0.
+        """
+        a = np.asarray(a, dtype=_INDEX)
+        b = np.asarray(b, dtype=_INDEX)
+        lo = a
+        hi = b - 1
+        # Negative indices from empty/leftmost ranges wrap harmlessly: the
+        # np.where masks discard those lanes.
+        total = self._cum[hi, hi]
+        left = np.where(lo > 0, self._cum[lo - 1, hi], 0)
+        top = np.where(lo > 0, self._cum[hi, lo - 1], 0)
+        corner = np.where(lo > 0, self._cum[lo - 1, lo - 1], 0)
+        return np.where(a == b, 0, total - left - top + corner)
+
     def degree_sum(self, a: int, b: int) -> int:
         """Adjacency volume of percent range [a, b)."""
         return int(
@@ -281,6 +299,88 @@ class MultiwayCcProblem:
     def evaluate_ms(self, thresholds: Sequence[float]) -> float:
         return self._pipeline(thresholds).total_ms
 
+    def evaluate_many(self, threshold_vectors: np.ndarray) -> np.ndarray:
+        """Batched :meth:`evaluate_ms` over rows of threshold vectors.
+
+        *threshold_vectors* has shape ``(batch, n_gpus)``; each row is one
+        non-decreasing percent vector.  Every range quantity the scalar
+        pipeline derives from :class:`RangeCutProfile` is a table gather, so
+        the whole batch prices in a handful of array operations.
+        """
+        vs = np.asarray(threshold_vectors, dtype=np.float64)
+        if vs.ndim != 2 or vs.shape[1] != self.n_gpus:
+            raise ValidationError(
+                f"expected threshold vectors of shape (batch, {self.n_gpus}), "
+                f"got {vs.shape}"
+            )
+        batch = vs.shape[0]
+        if batch == 0:
+            return np.zeros(0, dtype=np.float64)
+        cuts = np.round(vs).astype(_INDEX)
+        if int(cuts.min()) < 0 or int(cuts.max()) > 100:
+            raise ValidationError("thresholds must be in [0, 100]")
+        if bool(np.any(np.diff(cuts, axis=1) < 0)):
+            raise ValidationError("thresholds must be non-decreasing")
+        if self.graph.n == 0:
+            return np.zeros(batch, dtype=np.float64)
+        prof = self._profile
+        bounds = np.concatenate(
+            (
+                np.zeros((batch, 1), dtype=_INDEX),
+                cuts,
+                np.full((batch, 1), 100, dtype=_INDEX),
+            ),
+            axis=1,
+        )
+        idx = prof._cuts[bounds]  # vertex cut indices, (batch, n_gpus + 2)
+        nv = idx[:, 1:] - idx[:, :-1]  # vertices per range
+        if self._rep_prefix is not None:
+            work = self._rep_prefix[idx[:, 1:]] - self._rep_prefix[idx[:, :-1]]
+        else:
+            deg = prof._degree_prefix[idx[:, 1:]] - prof._degree_prefix[idx[:, :-1]]
+            work = self.work_scale * (nv + deg).astype(np.float64)
+        cpu = self.machine.cpu
+        gpu = self.machine.gpu
+        rate_c = effective_rate_per_ms(cpu, PROFILE_CC)
+        rate_g = effective_rate_per_ms(gpu, PROFILE_CC)
+        threads = cpu.threads
+        if self._atom_prefix_max is not None:
+            atom = self._atom_prefix_max[idx[:, 1]]
+        else:
+            atom = 1.0 + prof._degree_prefix_max[idx[:, 1]].astype(np.float64)
+        cpu_ms = (
+            np.maximum(work[:, 0] / threads, atom) / (rate_c / threads)
+            + cpu.kernel_launch_us * 1e-3
+        )
+        # Ranges with vertices always carry work (work_scale > 0), so the
+        # scalar path's per-device zero-work early-outs reduce to nv masks.
+        n_range = np.maximum(nv[:, 1:], 2)
+        sv_iters = np.ceil(np.log2(n_range)).astype(_INDEX) + 1
+        gpu_ms = (
+            SV_EFFECTIVE_PASSES * work[:, 1:] / rate_g
+            + sv_iters * gpu.kernel_launch_us * 1e-3
+        )
+        longest = np.where(nv[:, 0] > 0, cpu_ms, 0.0)
+        for i in range(self.n_gpus):
+            longest = np.maximum(
+                longest, np.where(nv[:, i + 1] > 0, gpu_ms[:, i], 0.0)
+            )
+        within = prof.within_many(bounds[:, :-1], bounds[:, 1:]).sum(axis=1)
+        cross = prof.m - within
+        active = (nv > 0).sum(axis=1)
+        foreign = self.graph.n - nv[:, 1]
+        transfer = self.machine.transfer_ms_many(foreign * _BYTES_PER_VERTEX)
+        uniq, inverse = np.unique(cross, return_inverse=True)
+        merge_iters = np.array(
+            [modeled_merge_iterations(int(c)) for c in uniq], dtype=_INDEX
+        )[inverse].reshape(cross.shape)
+        merge_rate = effective_rate_per_ms(gpu, PROFILE_MERGE)
+        merge_ms = (
+            MERGE_EFFECTIVE_PASSES * (2.0 * cross + 1.0) / merge_rate
+            + merge_iters * gpu.kernel_launch_us * 1e-3
+        )
+        return np.where(active > 1, (longest + transfer) + merge_ms, longest)
+
     def timeline(self, thresholds: Sequence[float]) -> Timeline:
         return self._pipeline(thresholds)
 
@@ -353,6 +453,16 @@ class MultiwayCcProblem:
         )
 
 
+def _value_many(problem, trials: np.ndarray) -> np.ndarray:
+    """Price a (batch, n_gpus) matrix of trial vectors, batched if possible."""
+    fn = getattr(problem, "evaluate_many", None)
+    if callable(fn):
+        return np.asarray(fn(trials), dtype=np.float64)
+    return np.array(
+        [problem.evaluate_ms(list(t)) for t in trials], dtype=np.float64
+    )
+
+
 def coordinate_descent(
     problem: MultiwayCcProblem,
     start: Sequence[float] | None = None,
@@ -363,45 +473,59 @@ def coordinate_descent(
 
     Each sweep refines one coordinate at a time over the percent grid
     (stride *step*, then stride 1 around the winner), holding the others
-    fixed and keeping the vector non-decreasing.  Returns
-    ``(thresholds, value_ms, n_evaluations)``.
+    fixed and keeping the vector non-decreasing.  Every coordinate pass
+    prices its whole candidate set in one ``evaluate_many`` batch (a scalar
+    loop when the problem has no batch pricing); the winner is the first
+    candidate to strictly improve, exactly as the scalar scan picked it.
+    Returns ``(thresholds, value_ms, n_evaluations)``.
     """
     if start is None:
         current = list(problem.naive_static_thresholds())
     else:
         current = [float(t) for t in start]
-    evals = 0
-
-    def value(vec: list[float]) -> float:
-        nonlocal evals
-        evals += 1
-        return problem.evaluate_ms(vec)
-
-    best_val = value(current)
+    evals = 1
+    best_val = float(problem.evaluate_ms(current))
     for _ in range(max_sweeps):
         moved = False
         for i in range(problem.n_gpus):
             lo = current[i - 1] if i > 0 else 0.0
             hi = current[i + 1] if i + 1 < problem.n_gpus else 100.0
-            candidates = list(np.arange(lo, hi + 1, step))
-            best_c, best_c_val = current[i], best_val
-            for c in candidates:
-                if c == current[i]:
-                    continue
-                trial = list(current)
-                trial[i] = float(c)
-                v = value(trial)
-                if v < best_c_val:
-                    best_c, best_c_val = float(c), v
+
+            def probe(
+                cands: np.ndarray,
+                skip: set[float],
+                best_c: float,
+                best_c_val: float,
+                coord: int = i,
+            ) -> tuple[float, float]:
+                nonlocal evals
+                kept = np.asarray(
+                    [float(c) for c in cands if float(c) not in skip],
+                    dtype=np.float64,
+                )
+                if kept.size == 0:
+                    return best_c, best_c_val
+                trials = np.tile(
+                    np.asarray(current, dtype=np.float64), (kept.size, 1)
+                )
+                trials[:, coord] = kept
+                vals = _value_many(problem, trials)
+                evals += int(kept.size)
+                j = int(np.argmin(vals))
+                if float(vals[j]) < best_c_val:
+                    return float(kept[j]), float(vals[j])
+                return best_c, best_c_val
+
+            best_c, best_c_val = probe(
+                np.arange(lo, hi + 1, step), {current[i]}, current[i], best_val
+            )
             # Fine pass around the coarse winner.
-            for c in np.arange(max(lo, best_c - step), min(hi, best_c + step) + 1):
-                if c == current[i] or c == best_c:
-                    continue
-                trial = list(current)
-                trial[i] = float(c)
-                v = value(trial)
-                if v < best_c_val:
-                    best_c, best_c_val = float(c), v
+            best_c, best_c_val = probe(
+                np.arange(max(lo, best_c - step), min(hi, best_c + step) + 1),
+                {current[i], best_c},
+                best_c,
+                best_c_val,
+            )
             if best_c != current[i]:
                 current[i] = best_c
                 best_val = best_c_val

@@ -27,7 +27,6 @@ from repro.sparse.csr import CsrMatrix
 from repro.sparse.ops import vstack
 from repro.sparse.spgemm import spgemm
 from repro.util.errors import ValidationError
-from repro.util.prefix import split_index_for_share
 from repro.util.rng import RngLike
 
 _INDEX = np.int64
@@ -98,8 +97,9 @@ class MultiwaySpmmProblem:
         """Row cut indices for the vector: CPU gets ``[0, i_1)``, GPU ``k``
         gets ``[i_k, i_{k+1})`` with ``i_{g+1} = n``."""
         cuts = self._check_vector(thresholds)
-        mults = self._base._rep_mults
-        return [split_index_for_share(mults, c / 100.0) for c in cuts]
+        # The base problem's cached prefix tables make each cut O(log n)
+        # instead of the O(n) rescan split_index_for_share would repeat.
+        return [self._base._split_index(c / 100.0) for c in cuts]
 
     # -- pricing -------------------------------------------------------------------
 
@@ -148,6 +148,72 @@ class MultiwaySpmmProblem:
 
     def evaluate_ms(self, thresholds: Sequence[float]) -> float:
         return self._pipeline(thresholds).total_ms
+
+    def evaluate_many(self, threshold_vectors: np.ndarray) -> np.ndarray:
+        """Batched :meth:`evaluate_ms` over rows of threshold vectors.
+
+        Shape ``(batch, n_gpus)`` in, per-row makespans out.  All device
+        times and transfer sizes are gathers into the base problem's
+        pricing tables, so the batch prices without any per-row Python.
+        """
+        vs = np.asarray(threshold_vectors, dtype=np.float64)
+        if vs.ndim != 2 or vs.shape[1] != self.n_gpus:
+            raise ValidationError(
+                f"expected threshold vectors of shape (batch, {self.n_gpus}), "
+                f"got {vs.shape}"
+            )
+        batch = vs.shape[0]
+        if batch == 0:
+            return np.zeros(0, dtype=np.float64)
+        if vs.size and (float(vs.min()) < 0.0 or float(vs.max()) > 100.0):
+            raise ValidationError("thresholds must be in [0, 100]")
+        if bool(np.any(np.diff(vs, axis=1) < 0)):
+            raise ValidationError("thresholds must be non-decreasing")
+        n = self.a.n_rows
+        if n == 0:
+            return np.zeros(batch, dtype=np.float64)
+        base = self._base
+        splits = base._split_many(vs / 100.0)
+        bounds = np.concatenate(
+            (
+                np.zeros((batch, 1), dtype=_INDEX),
+                splits,
+                np.full((batch, 1), n, dtype=_INDEX),
+            ),
+            axis=1,
+        )
+        cpu = self.machine.cpu
+        gpu = self.machine.gpu
+        rate_c = effective_rate_per_ms(cpu, base.profile)
+        rate_g = effective_rate_per_ms(gpu, base.profile)
+        threads = cpu.threads
+        warp_rate = rate_g * gpu.warp_size / gpu.cores
+        cpu_rows = bounds[:, 1]
+        cpu_work = base._rep_flop_prefix[cpu_rows]
+        cpu_atom = base.row_scale * base._flop_prefix_max[cpu_rows]
+        cpu_ms = (
+            np.maximum(cpu_work / threads, cpu_atom) / (rate_c / threads)
+            + cpu.kernel_launch_us * 1e-3
+        )
+        longest = np.where(cpu_rows > 0, cpu_ms, 0.0)
+        for i in range(self.n_gpus):
+            lo, hi = bounds[:, i + 1], bounds[:, i + 2]
+            padded = base._rep_padded_prefix[hi] - base._rep_padded_prefix[lo]
+            straggler = base.row_scale * base._flop_suffix_max[lo] / warp_rate
+            gpu_ms = (
+                np.maximum(padded / rate_g, straggler)
+                + gpu.kernel_launch_us * 1e-3
+            )
+            longest = np.maximum(longest, np.where(hi > lo, gpu_ms, 0.0))
+        # Result slabs share one link: transfers serialize (cursor adds).
+        total = longest
+        for i in range(self.n_gpus):
+            lo, hi = bounds[:, i + 1], bounds[:, i + 2]
+            mults = (base._rep_flop_prefix[hi] - base._rep_flop_prefix[lo]) / 2.0
+            nbytes = mults * base._compression * _BYTES_PER_NNZ
+            d2h = self.machine.transfer_ms_many(nbytes)
+            total = total + np.where(hi > lo, d2h, 0.0)
+        return total
 
     def timeline(self, thresholds: Sequence[float]) -> Timeline:
         return self._pipeline(thresholds)

@@ -30,7 +30,10 @@ import numpy as np
 from repro.platform.costmodel import (
     PROFILE_SPGEMM,
     KernelProfile,
+    PricingTables,
+    cpu_chunked_time_many,
     effective_rate_per_ms,
+    gpu_row_per_warp_time_many,
 )
 from repro.platform.machine import HeterogeneousMachine
 from repro.platform.timeline import Timeline
@@ -39,7 +42,6 @@ from repro.sparse.ops import vstack
 from repro.sparse.sampling import deterministic_block
 from repro.sparse.spgemm import estimate_compression, load_vector, spgemm
 from repro.util.errors import ValidationError
-from repro.util.prefix import split_index_for_share
 from repro.util.rng import RngLike, as_generator
 
 _INDEX = np.int64
@@ -135,27 +137,27 @@ class SpmmProblem:
         flops = 2.0 * self._row_mults
         rep = self._rep if self._rep is not None else np.full(a.n_rows, self.work_scale)
         self._flop_prefix = np.concatenate(([0.0], np.cumsum(flops)))
-        self._flop_prefix_max = np.concatenate(
-            ([0.0], np.maximum.accumulate(flops) if flops.size else [])
-        )
-        # Represented (full-instance-equivalent) work for pricing.
-        self._rep_flop_prefix = np.concatenate(([0.0], np.cumsum(flops * rep)))
-        self._rep_mults = self._row_mults * rep
-        self._nnz_prefix = np.concatenate(([0], np.cumsum(a.row_nnz()))).astype(_INDEX)
-        # Row-per-warp GPU pricing (see costmodel.gpu_row_per_warp_time):
-        # each row's flops quantize up to a warp-wide unit, so suffix sums of
-        # the quantized flops give O(1) pricing at any cut.
-        n = a.n_rows
+        # One PricingTables per instance: represented flop prefix sums,
+        # per-row atomicity prefix/suffix maxima, and warp-quantized
+        # (row-per-warp) represented prefix sums — every aggregate the
+        # analytic evaluators gather per threshold (docs/PERFORMANCE.md).
         quantum = self.machine.gpu.warp_size * self.machine.gpu.flops_per_cycle
+        self._pricing = PricingTables.build(flops, rep=rep, quantum=quantum)
+        self._flop_prefix_max = self._pricing.prefix_max
+        # Represented (full-instance-equivalent) work for pricing.
+        self._rep_flop_prefix = self._pricing.rep_prefix
+        self._rep_mults = self._row_mults * rep
+        # Cached prefix sum + total of the represented multiplies so every
+        # split-row lookup reuses one table instead of re-reducing the
+        # work vector (split_index_for_share semantics, see _split_index).
+        self._rep_mults_prefix = np.cumsum(self._rep_mults)
+        self._rep_mults_total = float(self._rep_mults.sum())
+        self._nnz_prefix = np.concatenate(([0], np.cumsum(a.row_nnz()))).astype(_INDEX)
         padded = np.ceil(flops / quantum) * quantum
         self._padded_prefix = np.concatenate(([0.0], np.cumsum(padded)))
-        self._rep_padded_prefix = np.concatenate(([0.0], np.cumsum(padded * rep)))
+        self._rep_padded_prefix = self._pricing.padded_prefix
         # Suffix max of per-row flops for the straggler bound.
-        self._flop_suffix_max = (
-            np.concatenate((np.maximum.accumulate(flops[::-1])[::-1], [0.0]))
-            if n
-            else np.array([0.0])
-        )
+        self._flop_suffix_max = self._pricing.suffix_max
         self._total_flops = float(self._flop_prefix[-1])
         # Output-size ratio for the result-transfer term, measured on a
         # deterministic row sample (exact symbolic SpGEMM would cost as much
@@ -174,12 +176,80 @@ class SpmmProblem:
         # Shares are computed on *represented* work so a sampled instance's
         # split corresponds to the full instance's (identical for full
         # problems, where the representation is a constant).
-        return split_index_for_share(self._rep_mults, threshold / 100.0)
+        return self._split_index(threshold / 100.0)
+
+    def _split_index(self, share: float) -> int:
+        """:func:`split_index_for_share` over the cached prefix table.
+
+        Same semantics as the free function, without re-reducing the work
+        vector on every probe.
+        """
+        arr = self._rep_mults
+        if arr.size == 0:
+            return 0
+        if self._rep_mults_total == 0.0:
+            return int(round(share * arr.size))
+        target = share * self._rep_mults_total
+        idx = int(np.searchsorted(self._rep_mults_prefix, target, side="left"))
+        if idx < arr.size and share > 0.0:
+            idx += 1
+        return min(idx, arr.size) if share > 0.0 else 0
+
+    def _split_many(self, shares: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`_split_index` over an array of shares."""
+        arr = self._rep_mults
+        if arr.size == 0:
+            return np.zeros(shares.shape, dtype=_INDEX)
+        if self._rep_mults_total == 0.0:
+            return np.round(shares * arr.size).astype(_INDEX)
+        idx = np.searchsorted(
+            self._rep_mults_prefix, shares * self._rep_mults_total, side="left"
+        ).astype(_INDEX)
+        idx = np.where((idx < arr.size) & (shares > 0.0), idx + 1, idx)
+        return np.where(shares > 0.0, np.minimum(idx, arr.size), 0)
 
     # -- PartitionProblem protocol ----------------------------------------------------
 
     def evaluate_ms(self, threshold: float) -> float:
         return self._pipeline(threshold).total_ms
+
+    def evaluate_many(self, thresholds: np.ndarray) -> np.ndarray:
+        """Batched :meth:`evaluate_ms`: one gather over the pricing tables.
+
+        Splits come from the cached represented-work prefix
+        (:meth:`_split_many`); device times from
+        :class:`~repro.platform.costmodel.PricingTables` aggregates fed to
+        the vectorized cost models.  Mirrors the scalar float64 arithmetic
+        operation for operation (docs/PERFORMANCE.md).
+        """
+        ts = np.asarray(thresholds, dtype=np.float64)
+        if ts.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        if float(ts.min()) < 0.0 or float(ts.max()) > 100.0:
+            raise ValidationError("thresholds must be in [0, 100]")
+        n = self.a.n_rows
+        if n == 0:
+            return np.zeros(ts.shape, dtype=np.float64)
+        split = self._split_many(ts / 100.0)
+
+        cpu_work = self._rep_flop_prefix[split]
+        cpu_atom = self.row_scale * self._flop_prefix_max[split]
+        cpu_ms = cpu_chunked_time_many(
+            cpu_work, cpu_atom, self.machine.cpu, self.profile
+        )
+        padded_work = self._rep_padded_prefix[n] - self._rep_padded_prefix[split]
+        straggler = self.row_scale * self._flop_suffix_max[split]
+        gpu_ms = gpu_row_per_warp_time_many(
+            padded_work, straggler, self.machine.gpu, self.profile
+        )
+        longest = np.maximum(
+            np.where(split > 0, cpu_ms, 0.0), np.where(split < n, gpu_ms, 0.0)
+        )
+
+        gpu_mults = (self._rep_flop_prefix[n] - self._rep_flop_prefix[split]) / 2.0
+        c2_bytes = gpu_mults * self._compression * _BYTES_PER_NNZ
+        d2h = self.machine.transfer_ms_many(c2_bytes)
+        return longest + np.where(split < n, d2h, 0.0)
 
     def timeline(self, threshold: float) -> Timeline:
         return self._pipeline(threshold)

@@ -178,10 +178,10 @@ def gpu_warp_time(
     if arr.size == 0:
         return 0.0
     w = spec.warp_size
-    pad = (-arr.size) % w
-    if pad:
-        arr = np.concatenate([arr, np.zeros(pad, dtype=_F)])
-    warp_max = arr.reshape(-1, w).max(axis=1)
+    # Segmented max over warp-sized groups.  Work values are non-negative,
+    # so a ragged final warp maxes to the same value zero-padding would
+    # give — without allocating a padded copy of the work array per call.
+    warp_max = np.maximum.reduceat(arr, np.arange(0, arr.size, w))
     padded_work = float(warp_max.sum()) * w
     rate_total = effective_rate_per_ms(spec, profile)
     throughput_time = padded_work / rate_total
@@ -254,6 +254,160 @@ def dense_mm_time(flops: float, spec: DeviceSpec, profile: KernelProfile) -> flo
     if flops == 0:
         return 0.0
     return flops / effective_rate_per_ms(spec, profile) + _launch_ms(spec)
+
+
+# ---------------------------------------------------------------------------
+# Batched threshold pricing (docs/PERFORMANCE.md).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PricingTables:
+    """O(n) precomputed aggregates that price any contiguous cut in O(1).
+
+    One instance is built per (work ordering, representation) pair and
+    reused across every threshold a search or oracle sweep probes.  All
+    arrays carry a sentinel row so a cut index ``k`` in ``[0, n]`` indexes
+    directly:
+
+    ``rep_prefix[k]``
+        Represented work in ``work[:k]`` (``sum(work[:k] * rep[:k])``).
+    ``prefix_max[k]``
+        Heaviest single *atom* in ``[0, k)`` (the CPU chunk-imbalance
+        floor for :func:`cpu_chunked_time`-style pricing).  Atoms default
+        to the work values; sampled instances pass true unscaled
+        per-item work separately so the floor stays at its physical
+        magnitude while totals are represented.
+    ``suffix_max[k]``
+        Heaviest single atom in ``[k, n)`` (the GPU straggler atom for
+        :func:`gpu_warp_time` / :func:`gpu_row_per_warp_time` pricing).
+    ``padded_prefix[k]``
+        Represented *warp-quantized* work in ``work[:k]`` — each item
+        rounded up to a multiple of ``quantum`` first.  Present only when
+        a ``quantum`` was supplied.
+
+    Suffix aggregates come from the same tables:
+    ``rep_prefix[n] - rep_prefix[k]`` and
+    ``padded_prefix[n] - padded_prefix[k]`` — no per-probe slicing or
+    suffix copies.
+    """
+
+    work: np.ndarray
+    rep_prefix: np.ndarray
+    prefix_max: np.ndarray
+    suffix_max: np.ndarray
+    padded_prefix: np.ndarray | None
+    quantum: float | None
+
+    @classmethod
+    def build(
+        cls,
+        work: np.ndarray | list[float],
+        rep: np.ndarray | None = None,
+        atom: np.ndarray | None = None,
+        quantum: float | None = None,
+    ) -> "PricingTables":
+        arr = _as_work(work)
+        if rep is not None:
+            rep = np.asarray(rep, dtype=_F)
+            if rep.shape != arr.shape:
+                raise ValidationError(
+                    f"rep shape {rep.shape} != work shape {arr.shape}"
+                )
+        atoms = arr if atom is None else _as_work(atom)
+        if atoms.shape != arr.shape:
+            raise ValidationError(
+                f"atom shape {atoms.shape} != work shape {arr.shape}"
+            )
+        represented = arr if rep is None else arr * rep
+        rep_prefix = np.concatenate(([0.0], np.cumsum(represented)))
+        prefix_max = np.concatenate(([0.0], np.maximum.accumulate(atoms)))
+        suffix_max = np.concatenate(
+            (np.maximum.accumulate(atoms[::-1])[::-1], [0.0])
+        )
+        padded_prefix = None
+        if quantum is not None:
+            if quantum <= 0:
+                raise ValidationError("quantum must be positive")
+            padded = np.ceil(arr / quantum) * quantum
+            if rep is not None:
+                padded = padded * rep
+            padded_prefix = np.concatenate(([0.0], np.cumsum(padded)))
+        return cls(
+            work=arr,
+            rep_prefix=rep_prefix,
+            prefix_max=prefix_max,
+            suffix_max=suffix_max,
+            padded_prefix=padded_prefix,
+            quantum=quantum,
+        )
+
+    @property
+    def size(self) -> int:
+        return self.work.size
+
+    def prefix_work(self, ks: np.ndarray) -> np.ndarray:
+        """Represented work below each cut: ``sum(work[:k] * rep[:k])``."""
+        return self.rep_prefix[ks]
+
+    def suffix_work(self, ks: np.ndarray) -> np.ndarray:
+        """Represented work at or above each cut."""
+        return self.rep_prefix[self.size] - self.rep_prefix[ks]
+
+    def prefix_atom_max(self, ks: np.ndarray) -> np.ndarray:
+        """Heaviest single item below each cut (CPU chunk atom)."""
+        return self.prefix_max[ks]
+
+    def suffix_atom_max(self, ks: np.ndarray) -> np.ndarray:
+        """Heaviest single item at or above each cut (GPU straggler)."""
+        return self.suffix_max[ks]
+
+    def suffix_padded_work(self, ks: np.ndarray) -> np.ndarray:
+        """Represented warp-quantized work at or above each cut."""
+        if self.padded_prefix is None:
+            raise ValidationError("tables built without a warp quantum")
+        return self.padded_prefix[self.size] - self.padded_prefix[ks]
+
+
+def cpu_chunked_time_many(
+    work_totals: np.ndarray,
+    atom_maxima: np.ndarray,
+    spec: DeviceSpec,
+    profile: KernelProfile,
+) -> np.ndarray:
+    """Vectorized analytic chunked-CPU pricing over cut aggregates.
+
+    Elementwise identical to the analytic form the problem evaluators use
+    for a single cut: the heaviest chunk is ``max(total / threads, atom)``
+    processed at one thread's rate, plus one parallel-region launch.  Both
+    inputs are per-threshold arrays (no masking — callers zero out cuts
+    their scalar path guards away).
+    """
+    threads = spec.threads
+    rate = effective_rate_per_ms(spec, profile)
+    heaviest = np.maximum(work_totals / threads, atom_maxima)
+    return heaviest / (rate / threads) + _launch_ms(spec)
+
+
+def gpu_row_per_warp_time_many(
+    padded_totals: np.ndarray,
+    stragglers: np.ndarray,
+    spec: DeviceSpec,
+    profile: KernelProfile,
+) -> np.ndarray:
+    """Vectorized row-per-warp GPU pricing over cut aggregates.
+
+    ``padded_totals`` is warp-quantized represented work per threshold
+    (from :meth:`PricingTables.suffix_padded_work`), ``stragglers`` the
+    heaviest single item per threshold.  Matches the scalar
+    :func:`gpu_row_per_warp_time` arithmetic elementwise.
+    """
+    rate = effective_rate_per_ms(spec, profile)
+    warp_rate = rate * spec.warp_size / spec.cores
+    return (
+        np.maximum(padded_totals / rate, stragglers / warp_rate)
+        + _launch_ms(spec)
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -82,6 +82,10 @@ class HeterogeneousMachine:
         """Host<->device transfer time for *nbytes* (one direction)."""
         return self.link.transfer_ms(nbytes)
 
+    def transfer_ms_many(self, nbytes: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`transfer_ms` over an array of sizes."""
+        return self.link.transfer_ms_many(nbytes)
+
     # -- machine-level constants ----------------------------------------------
 
     @property

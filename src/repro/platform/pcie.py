@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.util.errors import ValidationError
 
 
@@ -42,6 +44,19 @@ class PcieLink:
             return 0.0
         seconds = self.latency_us * 1e-6 + nbytes / (self.bandwidth_gbs * 1e9)
         return seconds * 1e3
+
+    def transfer_ms_many(self, nbytes: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`transfer_ms` over an array of transfer sizes.
+
+        Elementwise identical to the scalar model, including the
+        zero-size fast path (an empty transfer costs nothing, not one
+        latency).
+        """
+        arr = np.asarray(nbytes, dtype=np.float64)
+        if arr.size and float(arr.min()) < 0:
+            raise ValidationError("nbytes must be non-negative")
+        seconds = self.latency_us * 1e-6 + arr / (self.bandwidth_gbs * 1e9)
+        return np.where(arr == 0.0, 0.0, seconds * 1e3)  # reprolint: disable=FLT001 -- exact-zero mask mirrors the scalar fast path
 
 
 def pcie_gen3_x16() -> PcieLink:

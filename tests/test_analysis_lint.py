@@ -225,9 +225,125 @@ class TestSuppressionAndPlumbing:
         assert findings[0].path == str(path)
 
     def test_rule_catalog_covers_all_emitted_codes(self):
-        assert {"RNG001", "RNG002", "SIM001", "UNIT001", "FLT001", "ARG001"} <= set(
-            RULES
+        assert {
+            "RNG001",
+            "RNG002",
+            "SIM001",
+            "UNIT001",
+            "FLT001",
+            "ARG001",
+            "PERF001",
+        } <= set(RULES)
+
+
+class TestPerf001:
+    """Scalar evaluate_ms inside a grid loop (docs/PERFORMANCE.md)."""
+
+    def test_for_loop_over_grid_flagged(self):
+        src = (
+            "def sweep(problem, grid):\n"
+            "    out = []\n"
+            "    for t in grid:\n"
+            "        out.append(problem.evaluate_ms(t))\n"
+            "    return out\n"
         )
+        findings = lint_source(src, "repro/core/foo.py")
+        assert codes(findings) == ["PERF001"]
+        assert findings[0].line == 4
+        assert "evaluate_grid" in findings[0].message
+
+    def test_comprehension_over_thresholds_flagged(self):
+        src = (
+            "def sweep(problem, thresholds):\n"
+            "    return [problem.evaluate_ms(t) for t in thresholds]\n"
+        )
+        assert codes(lint_source(src, "repro/core/foo.py")) == ["PERF001"]
+
+    def test_experiments_scope_included(self):
+        src = (
+            "import numpy as np\n"
+            "def sweep(problem):\n"
+            "    return {t: problem.evaluate_ms(t) for t in np.arange(0, 101)}\n"
+        )
+        assert codes(lint_source(src, "repro/experiments/foo.py")) == ["PERF001"]
+
+    def test_threshold_grid_call_iterable_flagged(self):
+        src = (
+            "def sweep(problem):\n"
+            "    for t in problem.threshold_grid():\n"
+            "        problem.evaluate_ms(t)\n"
+        )
+        assert codes(lint_source(src, "repro/core/foo.py")) == ["PERF001"]
+
+    def test_subscripted_grid_flagged(self):
+        src = (
+            "def sweep(problem, grid):\n"
+            "    for t in grid[1:]:\n"
+            "        problem.evaluate_ms(t)\n"
+        )
+        assert codes(lint_source(src, "repro/core/foo.py")) == ["PERF001"]
+
+    def test_range_loop_not_a_grid(self):
+        src = (
+            "def repeats(problem, t):\n"
+            "    for _ in range(5):\n"
+            "        problem.evaluate_ms(t)\n"
+        )
+        assert lint_source(src, "repro/core/foo.py") == []
+
+    def test_entity_loop_not_a_grid(self):
+        src = (
+            "def study(problems):\n"
+            "    return [p.evaluate_ms(50.0) for p in problems]\n"
+        )
+        assert lint_source(src, "repro/experiments/foo.py") == []
+
+    def test_single_probe_outside_loop_ok(self):
+        src = (
+            "def tune(problem, threshold):\n"
+            "    return problem.evaluate_ms(threshold)\n"
+        )
+        assert lint_source(src, "repro/core/foo.py") == []
+
+    def test_while_loop_probe_ok(self):
+        src = (
+            "def descend(problem, t):\n"
+            "    while t > 0:\n"
+            "        t -= problem.evaluate_ms(t)\n"
+            "    return t\n"
+        )
+        assert lint_source(src, "repro/core/foo.py") == []
+
+    def test_out_of_scope_not_flagged(self):
+        src = (
+            "def sweep(problem, grid):\n"
+            "    return [problem.evaluate_ms(t) for t in grid]\n"
+        )
+        assert lint_source(src, "repro/hetero/foo.py") == []
+
+    def test_line_suppression_honored(self):
+        src = (
+            "def sweep(problem, grid):\n"
+            "    return [problem.evaluate_ms(t) for t in grid]  "
+            "# reprolint: disable=PERF001\n"
+        )
+        assert lint_source(src, "repro/core/foo.py") == []
+
+    def test_sanctioned_scalar_loops_fire_without_suppression(self):
+        # The two shipped scalar sweeps (the evaluate_grid fallback and the
+        # oracle pool worker) rely on their line suppressions: stripping
+        # the comments must re-expose exactly one PERF001 in each file.
+        for rel in ("core/problem.py", "core/oracle.py"):
+            path = SRC_ROOT / rel
+            bare = path.read_text(encoding="utf-8").replace(
+                "# reprolint: disable=PERF001", "#"
+            )
+            hits = [
+                f
+                for f in lint_source(bare, f"repro/{rel}")
+                if f.code == "PERF001"
+            ]
+            assert len(hits) == 1, rel
 
 
 class TestShippedTreeIsClean:

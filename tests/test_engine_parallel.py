@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.core.oracle import exhaustive_oracle
@@ -14,6 +15,35 @@ TINY = ExperimentConfig(scale=1 / 256)
 
 def _square(x: int) -> int:
     return x * x
+
+
+class _ScalarGridProblem:
+    """A scalar-only problem (no ``evaluate_many``): takes the pool path.
+
+    Module-level (and trivially picklable) because the fan-out ships the
+    problem to worker processes.
+    """
+
+    name = "scalar-grid"
+
+    def __init__(self, n_points: int = 101) -> None:
+        self._grid = np.linspace(0.0, 100.0, n_points)
+
+    def evaluate_ms(self, threshold: float) -> float:
+        t = float(threshold)
+        return 1.0 + (t - 37.0) ** 2 / 1000.0
+
+    def threshold_grid(self) -> np.ndarray:
+        return self._grid
+
+
+class _PoisonPool:
+    """A many-worker pool whose map must never be called."""
+
+    workers = 8
+
+    def map(self, fn, payloads):
+        raise AssertionError("batched problems must not fan out over the pool")
 
 
 class TestChunked:
@@ -88,5 +118,38 @@ class TestParallelOracle:
     def test_serial_pmap_takes_serial_path(self):
         problem = cc_problem(TINY, "cant")
         assert exhaustive_oracle(problem, parallel_map=ParallelMap(1)) == (
+            exhaustive_oracle(problem)
+        )
+
+    def test_scalar_only_problem_fans_out_bit_identical(self):
+        # cc/spmm now batch-price (and skip the pool), so the fan-out path
+        # is exercised by a problem without an evaluate_many hook.
+        problem = _ScalarGridProblem()
+        serial = exhaustive_oracle(problem)
+        pmap = ParallelMap(2)
+        try:
+            parallel = exhaustive_oracle(problem, parallel_map=pmap)
+        finally:
+            pmap.close()
+        assert parallel == serial
+
+    def test_grid_smaller_than_chunk_count(self):
+        # workers * 4 = 8 chunks from a 3-point grid: the empty tails must
+        # be dropped, not shipped to workers as no-op tasks.
+        problem = _ScalarGridProblem(n_points=3)
+        pmap = ParallelMap(2)
+        try:
+            result = exhaustive_oracle(problem, parallel_map=pmap)
+        finally:
+            pmap.close()
+        assert result == exhaustive_oracle(problem)
+        assert result.n_evaluations == 3
+
+    @pytest.mark.parametrize("factory", [cc_problem, spmm_problem])
+    def test_batched_problem_skips_pool(self, factory):
+        # Path choice is by capability, before the worker count: a batched
+        # problem never touches the pool even when one is offered.
+        problem = factory(TINY, "cant")
+        assert exhaustive_oracle(problem, parallel_map=_PoisonPool()) == (
             exhaustive_oracle(problem)
         )

@@ -10,7 +10,9 @@ which
 1. runs ``pytest benchmarks/ -q`` (at the conftest's ``BENCH_SCALE``) with
    pytest-benchmark JSON output and the engine's counter dump enabled,
 2. distills it into ``BENCH_<YYYY-MM-DD>.json``: per-benchmark wall-clock,
-   the engine's cache hit rate, and the worker count, and
+   the engine's cache hit rate and worker count, the batched-evaluation
+   share, and the batched-vs-scalar oracle sweep speedup
+   (``sweep_speedup``; docs/PERFORMANCE.md), and
 3. when a checked-in baseline exists (``benchmarks/BENCH_BASELINE.json``
    by default), fails with exit code 2 if any benchmark's mean regressed
    by more than ``--max-regression`` (default 25%), and
@@ -84,6 +86,8 @@ def distill(raw: dict, engine_stats: dict) -> dict:
     commit = raw.get("commit_info", {}).get("id")
     hits = int(engine_stats.get("hits", 0))
     misses = int(engine_stats.get("misses", 0))
+    computed = int(engine_stats.get("computed_evaluations", 0))
+    batched = int(engine_stats.get("batched_evaluations", 0))
     return {
         "date": datetime.date.today().isoformat(),
         "commit": commit,
@@ -94,8 +98,34 @@ def distill(raw: dict, engine_stats: dict) -> dict:
             "misses": misses,
             "hit_rate": hits / (hits + misses) if (hits + misses) else 0.0,
         },
+        "evaluations": {
+            "computed": computed,
+            "batched": batched,
+            "batched_share": batched / computed if computed else 0.0,
+        },
+        "sweep_speedup": sweep_speedup(benchmarks),
         "benchmarks": benchmarks,
     }
+
+
+def sweep_speedup(benchmarks: list[dict]) -> float | None:
+    """Scalar-over-batched oracle-sweep mean ratio (docs/PERFORMANCE.md).
+
+    Pairs ``test_oracle_sweep_scalar`` with ``test_oracle_sweep_batched``
+    from ``benchmarks/test_microkernels.py``; ``None`` when either is
+    absent from the run (e.g. a filtered pytest invocation).
+    """
+    means: dict[str, float] = {}
+    for bench in benchmarks:
+        name, mean_s = bench["name"], bench.get("mean_s")
+        if mean_s:
+            if name.endswith("test_oracle_sweep_scalar"):
+                means["scalar"] = mean_s
+            elif name.endswith("test_oracle_sweep_batched"):
+                means["batched"] = mean_s
+    if "scalar" not in means or "batched" not in means:
+        return None
+    return means["scalar"] / means["batched"]
 
 
 def record_obs_trace(out_dir: Path, date: str) -> Path | None:
@@ -211,6 +241,13 @@ def main(argv: list[str] | None = None) -> int:
         f"engine: workers={report['workers']}, cache {cache['hits']} hit(s) / "
         f"{cache['misses']} miss(es) ({100 * cache['hit_rate']:.1f}% hit rate)"
     )
+    evals = report["evaluations"]
+    print(
+        f"evaluations: {evals['computed']} computed, {evals['batched']} "
+        f"batched ({100 * evals['batched_share']:.1f}% vectorized)"
+    )
+    if report["sweep_speedup"] is not None:
+        print(f"oracle sweep: batched {report['sweep_speedup']:.1f}x faster than scalar")
 
     if not args.no_obs_trace:
         trace_path = record_obs_trace(args.out_dir, report["date"])
