@@ -54,6 +54,15 @@ Rules
     the two sanctioned scalar loops (the ``evaluate_grid`` fallback
     itself and the oracle pool worker's chunk loop) carry line
     suppressions.
+``ENG001``
+    No swallowed broad exception handlers (``except Exception`` /
+    ``except BaseException`` / bare ``except``) inside ``repro/engine``:
+    the handler must re-raise or visibly record the failure (an obs
+    counter, a warning, or a ``record_*``/``*_failure`` helper).  The
+    engine is the layer that retries and degrades — a silent ``pass``
+    there is exactly how a run claims ``workers=N`` after quietly going
+    serial.  Handlers for *specific* exception types are exempt: typed
+    recovery is a decision, a blanket swallow is a cover-up.
 
 Suppression
 -----------
@@ -82,6 +91,7 @@ RULES: dict[str, str] = {
     "ARG001": "mutable default argument",
     "API001": "public name in a repro package __init__ missing from __all__",
     "PERF001": "scalar evaluate_ms probe inside a loop over a threshold grid",
+    "ENG001": "broad except in repro/engine that neither re-raises nor records",
     "SYN001": "file does not parse",
 }
 
@@ -95,6 +105,11 @@ FLT_SCOPES = ("repro/core", "repro/platform")
 #: that hold searches/oracles and the experiment drivers — the places a
 #: stray scalar loop silently forfeits the batched-pricing fast path.
 PERF_SCOPES = ("repro/core", "repro/experiments")
+
+#: Directories where swallowed broad excepts are flagged (ENG001): the
+#: fault-tolerant execution layer, whose whole contract is that failures
+#: are retried, surfaced, or counted — never silently dropped.
+ENG_SCOPES = ("repro/engine",)
 
 #: The one module allowed to touch numpy's RNG constructors directly.
 RNG_MODULE_SUFFIX = "repro/util/rng.py"
@@ -146,6 +161,14 @@ _GRID_CALL_NAMES = {
     "np.linspace",
     "numpy.linspace",
 }
+
+#: Name tokens marking a call inside an exception handler as "recording
+#: the failure" for ENG001 (``record_failure``, ``warnings.warn``,
+#: ``counter(...).inc``, ``log``, ``quarantine``, ...).
+_FAILURE_RECORD_TOKENS = frozenset(
+    "record warn warning inc counter fail failure failed fallback "
+    "quarantine log error".split()
+)
 
 _SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
 
@@ -228,6 +251,7 @@ class _Linter(ast.NodeVisitor):
         self.path = path
         posix = path.replace("\\", "/")
         self.is_rng_module = posix.endswith(RNG_MODULE_SUFFIX)
+        self.in_eng_scope = any(f"{s}/" in posix or posix.endswith(s) for s in ENG_SCOPES)
         self.in_sim_scope = any(f"{s}/" in posix or posix.endswith(s) for s in SIM_SCOPES)
         self.in_flt_scope = any(f"{s}/" in posix or posix.endswith(s) for s in FLT_SCOPES)
         self.in_perf_scope = any(f"{s}/" in posix or posix.endswith(s) for s in PERF_SCOPES)
@@ -515,6 +539,68 @@ class _Linter(ast.NodeVisitor):
 
     def visit_Lambda(self, node: ast.Lambda) -> None:
         self._check_defaults(node)
+        self.generic_visit(node)
+
+    # -- exception handlers (ENG001) ---------------------------------------
+
+    @staticmethod
+    def _is_broad_handler(type_node: ast.expr | None) -> bool:
+        """Bare ``except`` or one naming Exception/BaseException."""
+        if type_node is None:
+            return True
+        candidates = (
+            list(type_node.elts)
+            if isinstance(type_node, ast.Tuple)
+            else [type_node]
+        )
+        for candidate in candidates:
+            dotted = _dotted(candidate)
+            if dotted in {"Exception", "BaseException"} or (
+                dotted is not None
+                and dotted.endswith((".Exception", ".BaseException"))
+            ):
+                return True
+        return False
+
+    @staticmethod
+    def _handler_surfaces_failure(node: ast.excepthandler) -> bool:
+        """Whether the handler body re-raises or visibly records.
+
+        Recording is recognized by calling anything whose name carries a
+        failure-reporting token (``record_failure``, ``warnings.warn``,
+        ``counter(...).inc``, ``_record_fallback``, ...) — a syntactic
+        heuristic, deliberately permissive: ENG001 exists to catch the
+        plain swallow (``pass`` / bare ``return``), not to audit what a
+        handler reports.
+        """
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Raise):
+                return True
+            if isinstance(sub, ast.Call):
+                func = sub.func
+                if isinstance(func, ast.Attribute):
+                    tail = func.attr
+                elif isinstance(func, ast.Name):
+                    tail = func.id
+                else:
+                    continue
+                if any(t in _FAILURE_RECORD_TOKENS for t in _tokens(tail)):
+                    return True
+        return False
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if (
+            self.in_eng_scope
+            and self._is_broad_handler(node.type)
+            and not self._handler_surfaces_failure(node)
+        ):
+            self._add(
+                "ENG001",
+                node,
+                "broad except in engine code swallows the failure; "
+                "re-raise, or record it (obs counter, warning, or a "
+                "record_*/…_failure helper) so degradation is never silent",
+            )
         self.generic_visit(node)
 
     # -- comparisons (FLT001) ----------------------------------------------

@@ -17,6 +17,19 @@ manual version bump is needed.  Records are JSON (``json.dumps`` round-
 trips doubles exactly via shortest-repr, so cached and freshly computed
 runs render byte-identically); writes are atomic (temp file + rename) so
 concurrent runs sharing a cache directory never observe torn records.
+
+Damage tolerance
+----------------
+A record that *does* end up unreadable (disk corruption, a partial copy,
+an injected ``corrupt_cache`` fault) is not just a miss: :meth:`ResultCache.get`
+counts it on the ``cache.corrupt`` obs counter and on
+:attr:`ResultCache.corrupt_count`, and *quarantines* the damaged file by
+renaming it aside (``<key>.json.corrupt``) so the recompute's
+:meth:`ResultCache.put` repairs the entry cleanly instead of racing the
+garbage.  Orphaned ``.tmp-*.json`` files — a writer killed between
+``mkstemp`` and ``os.replace`` — are swept on construction (when stale)
+and unconditionally on :meth:`ResultCache.clear`, so they cannot
+accumulate forever.
 """
 
 from __future__ import annotations
@@ -25,9 +38,11 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from functools import lru_cache
 from pathlib import Path
 
+from repro.engine.faults import FaultPlan
 from repro.obs import runtime as _obs
 
 #: Package directories (relative to ``src/repro``) whose sources feed the
@@ -48,6 +63,10 @@ SALTED_PACKAGES = (
 #: Bump to invalidate every cache without touching salted sources (e.g. a
 #: record-schema change inside the engine itself).
 CACHE_SCHEMA_VERSION = 1
+
+#: Construction-time sweep only removes temp files at least this old —
+#: a younger one may belong to a concurrent writer mid-``put``.
+STALE_TMP_AGE_S = 600.0
 
 
 @lru_cache(maxsize=1)
@@ -93,11 +112,27 @@ class ResultCache:
     salt:
         Override the code-version salt (tests use fixed salts; production
         callers leave the default so code edits invalidate).
+    fault_plan:
+        Optional :class:`~repro.engine.faults.FaultPlan` whose
+        ``corrupt_cache`` / ``torn_cache`` specs damage the matching
+        stores (chaos testing; ``None`` costs nothing).
     """
 
-    def __init__(self, root: str | Path, salt: str | None = None) -> None:
+    def __init__(
+        self,
+        root: str | Path,
+        salt: str | None = None,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
         self.root = Path(root)
         self.salt = salt if salt is not None else code_version_salt()
+        self.fault_plan = fault_plan
+        #: Unreadable records quarantined by :meth:`get` (lifetime count).
+        self.corrupt_count = 0
+        #: Orphaned temp files removed by sweeps (lifetime count).
+        self.swept_tmp_count = 0
+        self._store_count = 0
+        self.sweep_stale_tmp()
 
     def key(self, fields: dict) -> str:
         """Fingerprint of *fields* plus the code-version salt."""
@@ -109,24 +144,46 @@ class ResultCache:
     def get(self, fields: dict) -> dict | None:
         """The stored record for *fields*, or ``None`` (miss).
 
-        Unreadable/corrupt records count as misses: the caller recomputes
-        and the subsequent :meth:`put` repairs the entry.  Lookups feed
-        the ``cache.hit`` / ``cache.miss`` obs counters when observability
-        is enabled.
+        A *missing* entry is a plain miss (``cache.miss``).  An entry
+        that exists but cannot be read — torn bytes, invalid JSON, a
+        record of the wrong shape — additionally counts on
+        ``cache.corrupt`` and is renamed aside (``<key>.json.corrupt``)
+        so the caller's recompute-and-:meth:`put` repairs it cleanly;
+        persistent corruption therefore surfaces in stats instead of
+        thrashing invisibly as ordinary misses.
         """
         path = self.path(fields)
         try:
-            with path.open("r", encoding="utf-8") as fh:
-                entry = json.load(fh)
-        except (OSError, json.JSONDecodeError):
+            raw = path.read_bytes()
+        except FileNotFoundError:
             _obs.counter("cache.miss").inc()
+            return None
+        except OSError:
+            self._quarantine_corrupt(path)
+            return None
+        try:
+            entry = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            self._quarantine_corrupt(path)
             return None
         record = entry.get("record") if isinstance(entry, dict) else None
         if isinstance(record, dict):
             _obs.counter("cache.hit").inc()
             return record
-        _obs.counter("cache.miss").inc()
+        self._quarantine_corrupt(path)
         return None
+
+    def _quarantine_corrupt(self, path: Path) -> None:
+        """Count an unreadable record and move it out of the key's way."""
+        self.corrupt_count += 1
+        _obs.counter("cache.corrupt").inc()
+        _obs.counter("cache.miss").inc()
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:
+            # Best-effort: an unmovable file still reads as a miss, and
+            # the subsequent put() overwrites it atomically anyway.
+            return
 
     def put(self, fields: dict, record: dict) -> None:
         """Store *record* under *fields* atomically.
@@ -152,21 +209,74 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        if self.fault_plan is not None:
+            self._apply_store_faults(path)
+        self._store_count += 1
+
+    def _apply_store_faults(self, path: Path) -> None:
+        """Damage the just-written record when a cache fault is armed."""
+        for spec in self.fault_plan.cache_specs(self._store_count):
+            if spec.kind == "torn_cache":
+                data = path.read_bytes()
+                path.write_bytes(data[: max(1, len(data) // 3)])
+            else:  # corrupt_cache
+                path.write_bytes(self.fault_plan.corrupt_bytes(path.name))
+
+    def sweep_stale_tmp(self, max_age_s: float | None = STALE_TMP_AGE_S) -> int:
+        """Remove orphaned ``.tmp-*.json`` files; returns the count removed.
+
+        ``max_age_s`` guards live writers: only temp files whose mtime is
+        at least that old go (``None`` removes all of them — what
+        :meth:`clear` uses, where the caller is wiping the cache anyway).
+        """
+        if not self.root.is_dir():
+            return 0
+        removed = 0
+        now_s = time.time()
+        for tmp in self.root.glob(".tmp-*.json"):
+            try:
+                if max_age_s is not None and now_s - tmp.stat().st_mtime < max_age_s:
+                    continue
+                tmp.unlink()
+                removed += 1
+            except OSError:
+                continue
+        self.swept_tmp_count += removed
+        return removed
 
     def clear(self) -> int:
-        """Delete every record; returns the number removed."""
+        """Delete every record; returns the number of *records* removed.
+
+        Also sweeps every orphaned temp file (regardless of age) and
+        every quarantined ``*.json.corrupt`` aside; neither counts toward
+        the returned record total.
+        """
         removed = 0
         if self.root.is_dir():
             for file in self.root.glob("*.json"):
+                if file.name.startswith(".tmp-"):
+                    continue  # orphaned temp, not a record: swept below
                 try:
                     file.unlink()
                     removed += 1
                 except OSError:
                     pass
+            for aside in self.root.glob("*.json.corrupt"):
+                try:
+                    aside.unlink()
+                except OSError:
+                    pass
+            self.sweep_stale_tmp(max_age_s=None)
         return removed
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*.json")) if self.root.is_dir() else 0
+        if not self.root.is_dir():
+            return 0
+        return sum(
+            1
+            for file in self.root.glob("*.json")
+            if not file.name.startswith(".tmp-")
+        )
 
 
 def _jsonable(value: object) -> object:

@@ -16,6 +16,14 @@ cached under ``--cache-dir`` (default ``.repro-cache``) keyed by config +
 code version, so repeated and incremental invocations skip finished work;
 per-experiment cache hit/miss counters appear in the run summary.
 
+Fault tolerance (docs/ENGINE.md): ``--task-timeout SECONDS`` arms the
+engine's stall watchdog (a hung pool is killed and its unfinished tasks
+retried) and ``--max-retries N`` bounds per-task re-attempts.  The final
+summary reports the *effective* worker count plus any recovered
+retries/timeouts/quarantines, and a run whose pool permanently fell back
+to serial prints a DEGRADED line to stderr instead of silently claiming
+the configured width.
+
 Observability: ``--obs-out PATH`` records spans/metrics for the whole run
 and writes a Chrome trace-event file (open it in ``chrome://tracing`` or
 summarize with ``python -m repro.obs summary PATH``); ``--obs-summary``
@@ -81,6 +89,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="parallel fan-out width (1 = serial; results are bit-identical)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stall watchdog for pooled tasks: kill a pool that completes "
+        "nothing for this long and retry the unfinished tasks "
+        "(default: wait forever)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="re-attempts granted to each failing engine task (default: 2)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -158,6 +181,8 @@ def main(argv: list[str] | None = None) -> int:
         validate_traces=args.validate_traces,
         workers=args.workers,
         cache_dir=None if args.no_cache else args.cache_dir,
+        task_timeout_s=args.task_timeout,
+        max_retries=args.max_retries,
     )
     obs_active = (args.obs_out is not None or args.obs_summary) and not args.obs_off
     tracer = metrics = None
@@ -190,7 +215,25 @@ def main(argv: list[str] | None = None) -> int:
         if config.cache_dir is not None
         else "cache disabled"
     )
-    print(f"[engine summary: workers={config.workers}; {cache_note}]")
+    stats = engine.sync_stats()
+    print(
+        f"[engine summary: workers={config.workers} "
+        f"(effective {stats.effective_workers}); {cache_note}]"
+    )
+    if stats.retries or stats.timeouts or stats.quarantined or stats.cache_corrupt:
+        print(
+            f"[engine faults recovered: {stats.retries} retried task(s), "
+            f"{stats.timeouts} pool timeout(s), {stats.quarantined} "
+            f"quarantine(s), {stats.cache_corrupt} corrupt cache entr(ies)]"
+        )
+    if stats.degraded:
+        print(
+            f"[engine DEGRADED: requested workers={config.workers} but the "
+            "process pool fell back to serial "
+            f"({engine.parallel_map.fallback_reason}); results are "
+            "unaffected, wall-clock is]",
+            file=sys.stderr,
+        )
     if obs_active:
         records = tracer.records()
         snapshot = metrics.snapshot()

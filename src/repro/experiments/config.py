@@ -24,7 +24,7 @@ from repro.workloads.dataset import Dataset
 from repro.workloads.suite import DEFAULT_SCALE, load_dataset
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
-    from repro.engine import Engine
+    from repro.engine import Engine, FaultPlan
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -54,6 +54,21 @@ class ExperimentConfig:
     cache_dir:
         Directory of the persistent result cache; ``None`` (default)
         disables caching.  Warm records replay byte-identically.
+    task_timeout_s:
+        Stall watchdog for pooled tasks: if no task completes for this
+        long the pool is presumed hung, killed, and the unfinished tasks
+        retried (``None`` = wait forever).  Like every fault-tolerance
+        knob it bounds *when* the engine gives up, never *what* it
+        computes — results stay bit-identical.
+    max_retries:
+        Re-attempts granted to each failing engine task beyond its first
+        try before the failure is surfaced.
+    fault_plan:
+        Optional :class:`~repro.engine.FaultPlan` injected into the
+        engine (deterministic chaos testing; see docs/ENGINE.md).
+        Deliberately *not* part of :meth:`cache_fields`: faults never
+        change a successfully computed number, so faulted and clean runs
+        share cache records.
     """
 
     scale: float = DEFAULT_SCALE
@@ -63,6 +78,9 @@ class ExperimentConfig:
     validate_traces: bool = False
     workers: int = 1
     cache_dir: str | None = None
+    task_timeout_s: float | None = None
+    max_retries: int = 2
+    fault_plan: "FaultPlan | None" = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.scale <= 1.0:
@@ -71,6 +89,14 @@ class ExperimentConfig:
             raise ValidationError("repeats must be >= 1")
         if self.workers < 1:
             raise ValidationError(f"workers must be >= 1, got {self.workers}")
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise ValidationError(
+                f"task_timeout_s must be > 0, got {self.task_timeout_s}"
+            )
+        if self.max_retries < 0:
+            raise ValidationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
 
     def machine(self) -> HeterogeneousMachine:
         """The simulated testbed at this config's time scale."""
@@ -81,10 +107,21 @@ class ExperimentConfig:
         return _cached_dataset(name, self.scale)
 
     def engine(self) -> "Engine":
-        """The shared execution engine for this config's workers/cache."""
+        """The shared execution engine for this config's workers/cache.
+
+        The fault-tolerance settings participate in the engine's memo
+        key, so a chaos config never shares an engine (or its
+        degradation counters) with a clean one.
+        """
         from repro.engine import get_engine
 
-        return get_engine(workers=self.workers, cache_dir=self.cache_dir)
+        return get_engine(
+            workers=self.workers,
+            cache_dir=self.cache_dir,
+            timeout_s=self.task_timeout_s,
+            max_retries=self.max_retries,
+            fault_plan=self.fault_plan,
+        )
 
     def cache_fields(self) -> dict:
         """Key fields every cache record derived from this config shares."""

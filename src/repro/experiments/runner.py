@@ -19,6 +19,14 @@ Every unit is *self-seeding* — its randomness derives from
 :func:`repro.util.rng.stable_seed` over (seed, study, dataset, ...) inside
 the payload — so parallel runs are bit-identical to serial runs.  Finished
 units are stored in the engine's result cache and replayed on warm runs.
+
+Both properties survive faults: the engine retries crashed/hung/failed
+units within the config's ``task_timeout_s`` / ``max_retries`` budgets
+(quarantining a poison payload instead of rerunning whole batches), and a
+successful retry computes exactly what a first-try success would have —
+so a study that weathered worker crashes still renders byte-identically
+to a fault-free serial run (``tests/test_engine_faults.py``), with the
+incidents reported via :class:`repro.engine.EngineStats`, never silently.
 """
 
 from __future__ import annotations

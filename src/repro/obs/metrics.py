@@ -10,11 +10,16 @@ name                 kind        meaning
 ``oracle.evaluations``  counter  exhaustive-oracle threshold probes performed
 ``cache.hit``           counter  result-cache lookups served from disk
 ``cache.miss``          counter  result-cache lookups that had to compute
+``cache.corrupt``       counter  unreadable cache records quarantined (also a miss)
 ``sim.timeline_spans``  counter  simulated-timeline spans bridged into the trace
 ``sim.kernel_launches`` counter  GPU spans among the bridged timeline spans
 ``pool.tasks``          counter  tasks executed on the process-pool backend
 ``pool.chunk_ms``       histogram  wall-clock milliseconds per pooled task
 ``pool.workers``        gauge    process-pool width of the most recent map
+``pool.retries``        counter  task attempts retried after a recoverable failure
+``pool.timeouts``       counter  stall-watchdog expiries (pool presumed hung, killed)
+``pool.quarantined``    counter  poison-task quarantine events (bisection isolations)
+``pool.fallbacks``      counter  permanent pool-to-serial fallbacks recorded
 ===================  ==========  =================================================
 
 Like the tracer, the module-level registry defaults to a no-op twin whose

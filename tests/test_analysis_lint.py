@@ -346,6 +346,106 @@ class TestPerf001:
             assert len(hits) == 1, rel
 
 
+class TestEng001:
+    """Broad except in engine code must surface the failure (docs/ANALYSIS.md)."""
+
+    def test_swallowed_exception_flagged(self):
+        src = (
+            "def submit(pool, task):\n"
+            "    try:\n"
+            "        return pool.submit(task)\n"
+            "    except Exception:\n"
+            "        return None\n"
+        )
+        findings = lint_source(src, "repro/engine/foo.py")
+        assert codes(findings) == ["ENG001"]
+        assert findings[0].line == 4
+        assert "swallows" in findings[0].message
+
+    def test_bare_except_flagged(self):
+        src = (
+            "def poll(fut):\n"
+            "    try:\n"
+            "        return fut.result()\n"
+            "    except:  # noqa: E722\n"
+            "        pass\n"
+        )
+        assert codes(lint_source(src, "repro/engine/foo.py")) == ["ENG001"]
+
+    def test_broad_tuple_flagged(self):
+        src = (
+            "def poll(fut):\n"
+            "    try:\n"
+            "        return fut.result()\n"
+            "    except (ValueError, Exception):\n"
+            "        return None\n"
+        )
+        assert codes(lint_source(src, "repro/engine/foo.py")) == ["ENG001"]
+
+    def test_reraise_ok(self):
+        src = (
+            "def poll(fut):\n"
+            "    try:\n"
+            "        return fut.result()\n"
+            "    except Exception:\n"
+            "        raise\n"
+        )
+        assert lint_source(src, "repro/engine/foo.py") == []
+
+    def test_record_helper_ok(self):
+        src = (
+            "def poll(run, fut, i):\n"
+            "    try:\n"
+            "        return fut.result()\n"
+            "    except Exception as exc:\n"
+            "        run.record_failure(i, exc)\n"
+            "        return None\n"
+        )
+        assert lint_source(src, "repro/engine/foo.py") == []
+
+    def test_obs_counter_ok(self):
+        src = (
+            "from repro.obs import runtime as _obs\n"
+            "def poll(fut):\n"
+            "    try:\n"
+            "        return fut.result()\n"
+            "    except Exception:\n"
+            "        _obs.counter('pool.fallbacks').inc()\n"
+            "        return None\n"
+        )
+        assert lint_source(src, "repro/engine/foo.py") == []
+
+    def test_typed_handler_ok(self):
+        src = (
+            "def read(path):\n"
+            "    try:\n"
+            "        return path.read_bytes()\n"
+            "    except (OSError, ValueError):\n"
+            "        return None\n"
+        )
+        assert lint_source(src, "repro/engine/cachefoo.py") == []
+
+    def test_out_of_scope_not_flagged(self):
+        src = (
+            "def load(path):\n"
+            "    try:\n"
+            "        return path.read_text()\n"
+            "    except Exception:\n"
+            "        return None\n"
+        )
+        assert lint_source(src, "repro/experiments/foo.py") == []
+
+    def test_line_suppression_honored(self):
+        src = (
+            "def poll(fut):\n"
+            "    try:\n"
+            "        return fut.result()\n"
+            "    except Exception:  # reprolint: disable=ENG001\n"
+            "        return None\n"
+        )
+        assert lint_source(src, "repro/engine/foo.py") == []
+
+
 class TestShippedTreeIsClean:
     def test_src_repro_lints_clean(self):
         findings = lint_paths([SRC_ROOT])

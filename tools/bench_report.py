@@ -21,7 +21,10 @@ which
    ``--no-obs-trace``) so every benchmark artifact ships with the
    span/metric breakdown that explains it (docs/OBSERVABILITY.md).
 
-Exit codes: 0 OK, 1 benchmark suite failed, 2 regression detected.  A
+Exit codes: 0 OK, 1 benchmark suite failed, 2 regression detected,
+3 degraded run (the engine's process pool permanently fell back to
+serial — the timings measured something other than the configured
+``workers``, so the report cannot be trusted as a trajectory point).  A
 failed trace recording warns but never fails the job.
 """
 
@@ -93,6 +96,16 @@ def distill(raw: dict, engine_stats: dict) -> dict:
         "commit": commit,
         "python": sys.version.split()[0],
         "workers": int(engine_stats.get("workers", 1)),
+        "effective_workers": int(
+            engine_stats.get("effective_workers", engine_stats.get("workers", 1))
+        ),
+        "degraded": bool(engine_stats.get("degraded", False)),
+        "faults": {
+            "retries": int(engine_stats.get("retries", 0)),
+            "timeouts": int(engine_stats.get("timeouts", 0)),
+            "quarantined": int(engine_stats.get("quarantined", 0)),
+            "cache_corrupt": int(engine_stats.get("cache_corrupt", 0)),
+        },
         "cache": {
             "hits": hits,
             "misses": misses,
@@ -238,9 +251,18 @@ def main(argv: list[str] | None = None) -> int:
     print(f"wrote {out_path}")
     cache = report["cache"]
     print(
-        f"engine: workers={report['workers']}, cache {cache['hits']} hit(s) / "
+        f"engine: workers={report['workers']} "
+        f"(effective {report['effective_workers']}), "
+        f"cache {cache['hits']} hit(s) / "
         f"{cache['misses']} miss(es) ({100 * cache['hit_rate']:.1f}% hit rate)"
     )
+    faults = report["faults"]
+    if any(faults.values()):
+        print(
+            f"engine faults recovered: {faults['retries']} retried, "
+            f"{faults['timeouts']} timeout(s), {faults['quarantined']} "
+            f"quarantine(s), {faults['cache_corrupt']} corrupt cache entr(ies)"
+        )
     evals = report["evaluations"]
     print(
         f"evaluations: {evals['computed']} computed, {evals['batched']} "
@@ -265,6 +287,16 @@ def main(argv: list[str] | None = None) -> int:
         print(f"no regressions vs {args.baseline}")
     else:
         print(f"no baseline at {args.baseline}; regression gate skipped")
+
+    if report["degraded"]:
+        print(
+            f"benchmark run DEGRADED: configured workers={report['workers']} "
+            f"but the pool fell back to effective_workers="
+            f"{report['effective_workers']} — timings do not measure the "
+            "configured parallelism; failing the gate",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 

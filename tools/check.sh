@@ -32,5 +32,9 @@ python -m pytest -x -q \
     tests/test_engine_determinism.py
 
 echo
+echo "== chaos tests (fault injection) =="
+python -m pytest -x -q tests/test_engine_faults.py
+
+echo
 echo "== tier-1 tests =="
 python -m pytest -x -q
