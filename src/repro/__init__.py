@@ -112,6 +112,7 @@ __version__ = "1.1.0"
 _LAZY_ATTRS = {
     "run_experiments": ("repro.experiments.cli", "main"),
     "lint_paths": ("repro.analysis", "lint_paths"),
+    "analyze_project": ("repro.analysis", "analyze_project"),
 }
 
 
@@ -170,5 +171,6 @@ __all__ = [
     # lazy entry points
     "run_experiments",
     "lint_paths",
+    "analyze_project",
     "__version__",
 ]

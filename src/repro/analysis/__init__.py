@@ -14,23 +14,45 @@ ordinary unit test:
   PCIe upload that has not landed.  :mod:`repro.analysis.hazards` checks
   recorded schedules for these hazards.
 
-Both layers report :class:`~repro.analysis.findings.Finding` records and are
+A third layer analyzes the *whole program* at once: a project graph
+(imports, symbols, call edges over the source tree) feeding the DET
+(determinism), PAR (parallel-safety), and UNIT-X (interprocedural unit
+propagation) rule families — :func:`~repro.analysis.project.analyze_project`
+— with an incremental content-hash cache and SARIF 2.1 output for code
+scanning.
+
+All layers report :class:`~repro.analysis.findings.Finding` records and are
 exposed on the command line::
 
     python -m repro.analysis lint src/repro
+    python -m repro.analysis --project src/repro --sarif out.sarif
     python -m repro.analysis check-trace trace.json
 """
 
 from __future__ import annotations
 
+from repro.analysis.anacache import AnalysisCache, AnalysisCacheError
 from repro.analysis.findings import Finding, findings_to_json, render_findings
 from repro.analysis.hazards import check_spans, check_timeline
+from repro.analysis.project import (
+    PROJECT_RULES,
+    ProjectReport,
+    analyze_project,
+    build_project_graph,
+)
 from repro.analysis.reprolint import RULES, lint_file, lint_paths, lint_source
+from repro.analysis.sarif import sarif_to_json, to_sarif, write_sarif
 from repro.analysis.tracefile import dump_trace, load_trace
 
 __all__ = [
+    "AnalysisCache",
+    "AnalysisCacheError",
     "Finding",
+    "PROJECT_RULES",
+    "ProjectReport",
     "RULES",
+    "analyze_project",
+    "build_project_graph",
     "check_spans",
     "check_timeline",
     "dump_trace",
@@ -40,4 +62,7 @@ __all__ = [
     "lint_source",
     "load_trace",
     "render_findings",
+    "sarif_to_json",
+    "to_sarif",
+    "write_sarif",
 ]

@@ -2,14 +2,18 @@
 
 Usage::
 
-    python -m repro.analysis lint src/repro            # lint the tree
+    python -m repro.analysis --project src/repro       # whole-program DET/PAR/UNIT-X
+    python -m repro.analysis --project src/repro --sarif out.sarif
+    python -m repro.analysis --project src/repro --cache .ana-cache.json
+    python -m repro.analysis lint src/repro            # per-file lint
     python -m repro.analysis lint --format json file.py
     python -m repro.analysis lint --select RNG001,SIM001 src
     python -m repro.analysis check-trace trace.json    # hazard-check traces
     python -m repro.analysis rules                     # print the catalog
 
 Exit status: 0 when clean, 1 when findings were reported, 2 on usage or
-input errors — so CI can gate on it directly.
+input errors (including a corrupt analysis cache) — so CI can gate on it
+directly.
 """
 
 from __future__ import annotations
@@ -17,9 +21,12 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.analysis.anacache import AnalysisCacheError
 from repro.analysis.findings import Finding, findings_to_json, render_findings
 from repro.analysis.hazards import HAZARDS, check_spans
+from repro.analysis.project import PROJECT_RULES, analyze_project
 from repro.analysis.reprolint import RULES, lint_paths
+from repro.analysis.sarif import sarif_to_json, to_sarif, write_sarif
 from repro.analysis.tracefile import load_trace
 from repro.util.errors import ValidationError
 
@@ -41,9 +48,11 @@ def _filter(
     return out
 
 
-def _report(findings: list[Finding], fmt: str) -> int:
+def _report(findings: list[Finding], fmt: str, rules: dict[str, str]) -> int:
     if fmt == "json":
         print(findings_to_json(findings))
+    elif fmt == "sarif":
+        print(sarif_to_json(to_sarif(findings, rules)), end="")
     elif findings:
         print(render_findings(findings))
     else:
@@ -51,16 +60,72 @@ def _report(findings: list[Finding], fmt: str) -> int:
     return 1 if findings else 0
 
 
+def _run_project(args: argparse.Namespace) -> int:
+    try:
+        report = analyze_project(args.project, cache_path=args.cache)
+    except AnalysisCacheError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (OSError, ValidationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    findings = _filter(
+        report.findings, _parse_codes(args.select), _parse_codes(args.ignore)
+    )
+    if args.sarif is not None:
+        write_sarif(args.sarif, findings, PROJECT_RULES, base_dir=".")
+        print(f"wrote {args.sarif}", file=sys.stderr)
+    source = "memo" if report.memo_hit else (
+        f"{report.files_from_cache}/{report.files_analyzed} summaries cached"
+    )
+    print(
+        f"analyzed {report.files_analyzed} files "
+        f"({source}, {report.wall_s * 1e3:.0f} ms)",
+        file=sys.stderr,
+    )
+    return _report(findings, args.format, PROJECT_RULES)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-analysis",
-        description="Repo-invariant linter and schedule hazard detector.",
+        description=(
+            "Repo-invariant linter, whole-program determinism/parallel-safety "
+            "analyzer, and schedule hazard detector."
+        ),
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    parser.add_argument(
+        "--project",
+        metavar="DIR",
+        default=None,
+        help="run the whole-program DET/PAR/UNIT-X analysis over a source tree",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="FILE",
+        default=None,
+        help="incremental analysis cache file (with --project)",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="FILE",
+        default=None,
+        help="also write a SARIF 2.1 report (with --project)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text"
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="CODES", help="only report these codes"
+    )
+    parser.add_argument(
+        "--ignore", default=None, metavar="CODES", help="drop these codes"
+    )
+    sub = parser.add_subparsers(dest="command")
 
     lint_p = sub.add_parser("lint", help="lint Python sources for repo invariants")
     lint_p.add_argument("paths", nargs="+", help="files or directories to lint")
-    lint_p.add_argument("--format", choices=("text", "json"), default="text")
+    lint_p.add_argument("--format", choices=("text", "json", "sarif"), default="text")
     lint_p.add_argument(
         "--select", default=None, metavar="CODES", help="only report these codes"
     )
@@ -78,8 +143,16 @@ def main(argv: list[str] | None = None) -> int:
 
     args = parser.parse_args(argv)
 
+    if args.project is not None:
+        if args.command is not None:
+            parser.error("--project does not combine with a subcommand")
+        return _run_project(args)
+
+    if args.command is None:
+        parser.error("a subcommand or --project is required")
+
     if args.command == "rules":
-        for code, summary in {**RULES, **HAZARDS}.items():
+        for code, summary in {**RULES, **PROJECT_RULES, **HAZARDS}.items():
             print(f"{code}  {summary}")
         return 0
 
@@ -92,7 +165,7 @@ def main(argv: list[str] | None = None) -> int:
         findings = _filter(
             findings, _parse_codes(args.select), _parse_codes(args.ignore)
         )
-        return _report(findings, args.format)
+        return _report(findings, args.format, RULES)
 
     # check-trace
     findings: list[Finding] = []
@@ -103,7 +176,7 @@ def main(argv: list[str] | None = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         findings.extend(check_spans(spans, total_ms=total_ms, source=str(trace)))
-    return _report(findings, args.format)
+    return _report(findings, args.format, HAZARDS)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,173 @@
+"""Incremental analysis cache for whole-program runs.
+
+Parsing and summarizing ~100 files dominates a cold ``--project`` run;
+none of it needs repeating when the tree hasn't changed.  The cache has
+two levels, both keyed by content hashes so it can never serve stale
+results:
+
+* **File level** — each module's :class:`~repro.analysis.projectgraph.
+  ModuleSummary`, keyed by the SHA-256 of its source.  Editing one file
+  re-summarizes that file only; graph construction and rule evaluation
+  re-run over the mix of cached and fresh summaries.
+* **Tree level** — the final findings list, keyed by the hash of all
+  file digests together.  A fully warm run (nothing changed) skips
+  graph construction and rule evaluation entirely, which is what keeps
+  ``tools/check.sh`` fast.
+
+The cache file is JSON with a format version.  A *corrupt* file (bad
+JSON, wrong shape) raises :class:`AnalysisCacheError` — CI must know its
+cache was damaged, not silently pay a cold run; the CLI maps it to exit
+code 2 with a clear message.  A *version mismatch* is not corruption:
+the cache is discarded and rebuilt silently, since that is the expected
+consequence of upgrading the analyzer.
+
+Writes are atomic (temp file + ``os.replace``), mirroring
+``repro.engine.cache``, so an interrupted run can never tear the file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+from repro.analysis.projectgraph import ModuleSummary
+from repro.util.errors import ValidationError
+
+#: Bumped whenever summary or findings shapes change; mismatched caches
+#: are rebuilt, never reinterpreted.
+CACHE_FORMAT = 1
+
+
+class AnalysisCacheError(ValidationError):
+    """The analysis cache file exists but cannot be trusted."""
+
+
+def tree_digest(file_digests: dict[str, str]) -> str:
+    """One hash covering every file's content hash (path-sensitive)."""
+    h = hashlib.sha256()
+    for path in sorted(file_digests):
+        h.update(path.encode("utf-8"))
+        h.update(b"\0")
+        h.update(file_digests[path].encode("utf-8"))
+        h.update(b"\n")
+    return h.hexdigest()
+
+
+class AnalysisCache:
+    """Load/update/save the two-level cache at one path."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        #: file path -> {"digest": str, "summary": dict}
+        self._files: dict[str, dict] = {}
+        #: {"digest": str, "findings": [dict]} for the whole-tree memo
+        self._tree: dict | None = None
+        self.loaded = False
+
+    # -- persistence -------------------------------------------------------
+
+    def load(self) -> None:
+        """Read the cache file; raise :class:`AnalysisCacheError` if corrupt."""
+        if not self.path.exists():
+            return
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+            raise AnalysisCacheError(
+                f"analysis cache {self.path} is corrupt ({exc}); "
+                "delete it and re-run"
+            ) from exc
+        if not isinstance(raw, dict) or "format" not in raw:
+            raise AnalysisCacheError(
+                f"analysis cache {self.path} is corrupt (not a cache "
+                "document); delete it and re-run"
+            )
+        if raw.get("format") != CACHE_FORMAT:
+            # An analyzer upgrade, not damage: rebuild from scratch.
+            return
+        files = raw.get("files")
+        tree = raw.get("tree")
+        if not isinstance(files, dict) or not (
+            tree is None or isinstance(tree, dict)
+        ):
+            raise AnalysisCacheError(
+                f"analysis cache {self.path} is corrupt (bad shape); "
+                "delete it and re-run"
+            )
+        self._files = files
+        self._tree = tree
+        self.loaded = True
+
+    def save(self) -> None:
+        """Atomically persist the cache (temp file + ``os.replace``)."""
+        doc = {
+            "format": CACHE_FORMAT,
+            "files": self._files,
+            "tree": self._tree,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle)
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # -- file level --------------------------------------------------------
+
+    def get_summary(self, path: str, digest: str) -> ModuleSummary | None:
+        """The cached summary for *path* iff its content hash matches."""
+        entry = self._files.get(path)
+        if entry is None or entry.get("digest") != digest:
+            return None
+        try:
+            return ModuleSummary.from_json(entry["summary"])
+        except (KeyError, TypeError) as exc:
+            raise AnalysisCacheError(
+                f"analysis cache {self.path} is corrupt (bad summary for "
+                f"{path}); delete it and re-run"
+            ) from exc
+
+    def put_summary(self, summary: ModuleSummary) -> None:
+        self._files[summary.path] = {
+            "digest": summary.digest,
+            "summary": summary.to_json(),
+        }
+
+    def prune(self, live_paths: set[str]) -> None:
+        """Drop entries for files no longer in the tree."""
+        for path in list(self._files):
+            if path not in live_paths:
+                del self._files[path]
+
+    # -- tree level --------------------------------------------------------
+
+    def get_findings(self, digest: str) -> list[Finding] | None:
+        """The memoized findings iff the whole-tree hash matches."""
+        if self._tree is None or self._tree.get("digest") != digest:
+            return None
+        try:
+            return [Finding(**raw) for raw in self._tree["findings"]]
+        except (KeyError, TypeError) as exc:
+            raise AnalysisCacheError(
+                f"analysis cache {self.path} is corrupt (bad findings "
+                "memo); delete it and re-run"
+            ) from exc
+
+    def put_findings(self, digest: str, findings: list[Finding]) -> None:
+        self._tree = {
+            "digest": digest,
+            "findings": [asdict(f) for f in findings],
+        }

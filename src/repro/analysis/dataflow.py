@@ -1,0 +1,192 @@
+"""Conservative interprocedural dataflow over the project graph.
+
+This sits between :mod:`repro.analysis.projectgraph` (structure) and the
+rule modules (:mod:`~repro.analysis.rules_det`,
+:mod:`~repro.analysis.rules_par`) — it answers the three whole-program
+questions the rules ask:
+
+* **Which functions execute in determinism-critical context?**
+  Everything transitively reachable from (a) functions shipped to a
+  pool (``.map`` / ``.submit`` / ``.cached_map`` registrations), (b) the
+  result-cache keying path (``ResultCache.key`` / ``fingerprint`` /
+  ``code_version_salt``), and (c) ``evaluate_grid`` — the paths whose
+  outputs must replay bit-identically.
+* **Which functions execute inside pool workers?**  The pool-task roots
+  alone (cache keying runs in the parent), for the PAR race rules.
+* **Which units flow across which call edges?**  Per-call-site argument
+  units matched positionally and by keyword against callee parameter
+  names, the substrate of UNITX002/UNITX003.
+
+"Conservative" here means: reachability over-approximates (an edge per
+resolvable call, nested defs inlined into their parent), while the fact
+predicates under-approximate (a unit is only assigned when the naming
+convention states one; an unresolvable call contributes nothing).  That
+combination keeps the analyzer quiet on clean code and loud on real
+violations — the property the zero-unsuppressed-findings gate depends
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.projectgraph import ProjectGraph, short_id
+from repro.analysis.units import Unit, unit_from_str, unit_of_name
+
+#: Functions whose output keys the result cache or prices the grid:
+#: non-determinism anywhere under these corrupts replay even though no
+#: pool is involved.  Matched by suffix so fixture projects can opt in
+#: with the same spelling.
+DET_FIXED_ROOTS = (
+    "repro.engine.cache::ResultCache.key",
+    "repro.engine.cache::fingerprint",
+    "repro.engine.cache::code_version_salt",
+    "repro.core.problem::evaluate_grid",
+)
+
+
+@dataclass(frozen=True)
+class RootInfo:
+    """Why a function is an analysis root."""
+
+    fid: str
+    reason: str
+
+
+class ProjectDataflow:
+    """Reachability and unit-flow facts derived from a project graph."""
+
+    def __init__(self, graph: ProjectGraph) -> None:
+        self.graph = graph
+        self._det_roots: list[RootInfo] | None = None
+        self._worker_roots: list[RootInfo] | None = None
+
+    # -- roots -------------------------------------------------------------
+
+    def worker_roots(self) -> list[RootInfo]:
+        """Functions the project ships to pool workers."""
+        if self._worker_roots is None:
+            roots = []
+            for fid, reg in sorted(self.graph.worker_task_roots().items()):
+                registered = short_id(reg["registered_in"])
+                roots.append(
+                    RootInfo(
+                        fid=fid,
+                        reason=(
+                            f"passed to .{reg['api']}() in {registered} "
+                            f"(line {reg['line']})"
+                        ),
+                    )
+                )
+            self._worker_roots = roots
+        return self._worker_roots
+
+    def det_roots(self) -> list[RootInfo]:
+        """Worker roots plus the cache-keying / grid-pricing functions."""
+        if self._det_roots is None:
+            roots = list(self.worker_roots())
+            seen = {r.fid for r in roots}
+            for fixed in DET_FIXED_ROOTS:
+                fixed_mod, fixed_qual = fixed.split("::")
+                mod_tail = fixed_mod.rsplit(".", 1)[-1]
+                for fid in sorted(self.graph.functions):
+                    mod, _, qual = fid.partition("::")
+                    if qual != fixed_qual or fid in seen:
+                        continue
+                    if mod == fixed_mod or mod == mod_tail or mod.endswith(
+                        f".{mod_tail}"
+                    ):
+                        seen.add(fid)
+                        roots.append(
+                            RootInfo(
+                                fid=fid,
+                                reason="cache-keying / grid-pricing path",
+                            )
+                        )
+            self._det_roots = roots
+        return self._det_roots
+
+    # -- reachability ------------------------------------------------------
+
+    def det_reachable(self) -> dict[str, list[str]]:
+        """fid -> chain from the nearest determinism root."""
+        return self.graph.reachable_from([r.fid for r in self.det_roots()])
+
+    def worker_reachable(self) -> dict[str, list[str]]:
+        """fid -> chain from the nearest pool-task root."""
+        return self.graph.reachable_from([r.fid for r in self.worker_roots()])
+
+    def root_reason(self, fid: str) -> str | None:
+        for root in self.det_roots():
+            if root.fid == fid:
+                return root.reason
+        return None
+
+    # -- unit flows --------------------------------------------------------
+
+    def unit_flows(self):
+        """Yield ``(summary, caller_info, call, callee_fid, bindings)``.
+
+        ``bindings`` maps callee parameter name -> :class:`Unit` inferred
+        for the argument at this call site.  Only calls that resolved to
+        a project function and carry at least one known argument unit are
+        yielded.
+        """
+        for fid, (summary, info) in self.graph.functions.items():
+            for call in info.calls:
+                arg_units = call.get("arg_units")
+                kwarg_units = call.get("kwarg_units")
+                if not arg_units and not kwarg_units:
+                    continue
+                targets = self.graph.resolve_call_multi(
+                    summary, info.qualname, call["name"]
+                )
+                for callee_fid in targets:
+                    _, callee = self.graph.functions[callee_fid]
+                    bindings = _bind_units(
+                        call, callee.params, arg_units or [], kwarg_units or {}
+                    )
+                    if bindings:
+                        yield summary, info, call, callee_fid, bindings
+
+
+def _bind_units(
+    call: dict,
+    params: list[str],
+    arg_units: list[str | None],
+    kwarg_units: dict[str, str],
+) -> dict[str, Unit]:
+    """Match call-site argument units to callee parameter names.
+
+    Methods called through a receiver (``obj.meth(x)``) have one more
+    parameter (``self``/``cls``) than the call has positional arguments;
+    detect that shape and shift.  When the arity doesn't line up either
+    way, positional matching is skipped (keyword matching still applies)
+    rather than guessed.
+    """
+    bindings: dict[str, Unit] = {}
+    offset = 0
+    if params and params[0] in ("self", "cls"):
+        name = call.get("name", "")
+        # ``Class.meth(inst, x)`` passes self explicitly; the common
+        # ``obj.meth(x)`` does not.  The receiver form is the default.
+        if "." in name:
+            offset = 1
+    usable = params[offset:]
+    for index, raw in enumerate(arg_units):
+        if raw is None or index >= len(usable):
+            continue
+        unit = unit_from_str(raw)
+        if unit is not None:
+            bindings[usable[index]] = unit
+    for kw, raw in kwarg_units.items():
+        if kw in params:
+            unit = unit_from_str(raw)
+            if unit is not None:
+                bindings[kw] = unit
+    return bindings
+
+
+def declared_param_unit(param: str) -> Unit | None:
+    """The unit a parameter's own spelling declares (UNITX002's target)."""
+    return unit_of_name(param)

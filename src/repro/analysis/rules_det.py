@@ -1,0 +1,83 @@
+"""DET: whole-program determinism rules.
+
+The reproduction's correctness oracle is bit-identical replay: pool maps
+must equal serial maps, cache keys must be stable across runs and hosts,
+and the threshold-grid pricing that every figure consumes must not
+depend on ambient state.  These rules flag the two ways source code
+breaks that contract:
+
+``DET001``
+    A wall-clock / OS-entropy read (``time.time``, ``datetime.now``,
+    unseeded ``random`` / ``np.random`` module calls, ``os.environ``,
+    ``os.urandom``, ``uuid.uuid4``, ...) inside a function transitively
+    reachable from a determinism root — a pool task, the
+    ``ResultCache`` keying path, or ``evaluate_grid``.  The finding
+    carries the call chain from the root as evidence.
+``DET002``
+    Iteration in unstable order (set literals / ``set()`` /
+    ``frozenset()`` values, ``os.listdir`` / ``os.scandir``,
+    ``Path.iterdir`` / ``.glob`` / ``.rglob``) inside such a function,
+    where the order can leak into reductions or serialized records.
+    ``sorted(...)``-wrapped iterables never fire (the sort is the fix).
+
+Both rules need the project graph: a per-file pass sees ``helpers.py``
+call ``time.time()`` but cannot know that ``tasks.py`` ships a caller of
+it to the pool.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.dataflow import ProjectDataflow
+from repro.analysis.findings import Finding
+from repro.analysis.projectgraph import short_id
+
+#: Rule catalog fragment merged into the CLI/SARIF catalogs.
+DET_RULES: dict[str, str] = {
+    "DET001": "wall-clock/OS entropy reachable from a determinism-critical path",
+    "DET002": "unstable-order iteration reachable from a determinism-critical path",
+}
+
+
+def _chain(chain: list[str]) -> str:
+    return " -> ".join(short_id(fid) for fid in chain)
+
+
+def check_det(flow: ProjectDataflow) -> list[Finding]:
+    """All DET findings for the project (suppressions applied later)."""
+    findings: list[Finding] = []
+    reachable = flow.det_reachable()
+    for fid in sorted(reachable):
+        chain = reachable[fid]
+        summary, info = flow.graph.functions[fid]
+        root_reason = flow.root_reason(chain[0])
+        why = f" [{root_reason}]" if root_reason else ""
+        for site in info.entropy:
+            findings.append(
+                Finding(
+                    code="DET001",
+                    message=(
+                        f"{site['kind']} via {site['name']} in "
+                        f"{short_id(fid)}, reachable on a "
+                        f"determinism-critical path: {_chain(chain)}{why}"
+                    ),
+                    path=summary.path,
+                    line=site["line"],
+                    col=site["col"],
+                )
+            )
+        for site in info.unordered:
+            findings.append(
+                Finding(
+                    code="DET002",
+                    message=(
+                        f"iteration over {site['what']} (unstable order) in "
+                        f"{short_id(fid)}, reachable on a "
+                        f"determinism-critical path: {_chain(chain)}{why}; "
+                        "wrap in sorted(...)"
+                    ),
+                    path=summary.path,
+                    line=site["line"],
+                    col=site["col"],
+                )
+            )
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))

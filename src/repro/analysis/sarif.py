@@ -1,0 +1,129 @@
+"""SARIF 2.1.0 output for the analyzer.
+
+GitHub code scanning ingests SARIF; emitting it from ``python -m
+repro.analysis --project`` lets CI upload the run and surface DET/PAR/
+UNIT-X findings inline on pull requests.  The document follows the
+subset of the 2.1.0 schema GitHub actually reads: one run, a tool driver
+with a rule catalog, and one result per finding with a physical
+location.  Columns are converted from the analyzer's 0-based
+``col`` to SARIF's 1-based ``startColumn``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: Tool identity reported in every run.
+TOOL_NAME = "reprolint"
+TOOL_VERSION = "2.0.0"
+
+#: Codes reported at ``error`` level; everything else is ``warning``.
+#: Determinism and parallel-safety violations break the replay contract
+#: outright, so they gate; unit findings are correctness smells.
+_ERROR_PREFIXES = ("DET", "PAR", "RNG", "SYN")
+
+
+def _level(code: str) -> str:
+    return "error" if code.startswith(_ERROR_PREFIXES) else "warning"
+
+
+def _relative_uri(path: str, base: Path | None) -> str:
+    p = Path(path)
+    if base is not None:
+        try:
+            p = p.resolve().relative_to(base.resolve())
+        except ValueError:
+            pass
+    return p.as_posix()
+
+
+def to_sarif(
+    findings: list[Finding],
+    rules: dict[str, str],
+    *,
+    base_dir: str | Path | None = None,
+) -> dict:
+    """Findings + rule catalog -> a SARIF 2.1.0 document (as a dict).
+
+    *rules* maps rule id -> one-line description; every rule referenced
+    by a finding must be present (unknown codes get a stub entry rather
+    than an invalid ``ruleIndex``).  *base_dir* relativizes artifact
+    URIs, which is what makes GitHub match them to repository files.
+    """
+    catalog = dict(rules)
+    for finding in findings:
+        catalog.setdefault(finding.code, finding.code)
+    rule_ids = sorted(catalog)
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    base = Path(base_dir) if base_dir is not None else None
+    results = [
+        {
+            "ruleId": f.code,
+            "ruleIndex": rule_index[f.code],
+            "level": _level(f.code),
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": _relative_uri(f.path, base)},
+                        "region": {
+                            "startLine": max(1, f.line),
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": TOOL_VERSION,
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "name": rule_id,
+                                "shortDescription": {"text": catalog[rule_id]},
+                                "defaultConfiguration": {
+                                    "level": _level(rule_id)
+                                },
+                            }
+                            for rule_id in rule_ids
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def sarif_to_json(document: dict) -> str:
+    """Stable serialization (sorted keys, trailing newline)."""
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def write_sarif(
+    path: str | Path,
+    findings: list[Finding],
+    rules: dict[str, str],
+    *,
+    base_dir: str | Path | None = None,
+) -> None:
+    """Write a SARIF report for *findings* to *path*."""
+    Path(path).write_text(
+        sarif_to_json(to_sarif(findings, rules, base_dir=base_dir)),
+        encoding="utf-8",
+    )

@@ -16,8 +16,9 @@ The experiment harness's scaling layer (docs/ENGINE.md):
   misses, in parallel, and accounts hits/misses/evaluations plus the
   degradation counters (retries/timeouts/quarantined/effective_workers).
 * :class:`~repro.engine.faults.FaultPlan` — declarative, seeded chaos
-  scenarios (crash/hang/corrupt-result/corrupt-cache) that replay
-  deterministically (docs/ENGINE.md §Fault tolerance).
+  scenarios (crash/hang/corrupt-result, corrupt/torn cache stores,
+  crashed/torn obs trace exports) that replay deterministically
+  (docs/ENGINE.md §Fault tolerance).
 """
 
 from repro.engine.cache import (

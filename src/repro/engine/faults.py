@@ -24,6 +24,11 @@ Fault kinds
 ``corrupt_cache`` / ``torn_cache``
     The *n*-th :meth:`~repro.engine.cache.ResultCache.put` leaves behind
     garbage / a truncated record — exercises corrupt-entry quarantine.
+``crash_export`` / ``torn_export``
+    The *n*-th :func:`~repro.obs.export.write_trace` dies before
+    publishing / mid-write — exercises the exporter's all-or-nothing
+    contract (the destination path must hold either the previous
+    complete trace or nothing, never a truncated file).
 
 Addressing and arming
 ---------------------
@@ -53,8 +58,11 @@ TASK_FAULT_KINDS = frozenset({"crash", "hang", "corrupt_result"})
 #: Fault kinds applied to cache stores.
 CACHE_FAULT_KINDS = frozenset({"corrupt_cache", "torn_cache"})
 
+#: Fault kinds applied to obs trace-export writes.
+EXPORT_FAULT_KINDS = frozenset({"crash_export", "torn_export"})
+
 #: Every recognized :attr:`FaultSpec.kind`.
-FAULT_KINDS = TASK_FAULT_KINDS | CACHE_FAULT_KINDS
+FAULT_KINDS = TASK_FAULT_KINDS | CACHE_FAULT_KINDS | EXPORT_FAULT_KINDS
 
 #: Exit status an injected ``crash`` uses to kill its worker process.
 CRASH_EXIT_CODE = 70
@@ -124,6 +132,8 @@ class FaultSpec:
     index:
         Task faults: payload index within a map call.  Cache faults: the
         0-based store count at which the written record is damaged.
+        Export faults: the 0-based :func:`~repro.obs.export.write_trace`
+        call count (per process) at which the write is interrupted.
     op:
         Task faults only: restrict to the *op*-th ``map()`` invocation on
         the owning :class:`~repro.engine.parallel.ParallelMap`
@@ -195,6 +205,14 @@ class FaultPlan:
             spec
             for spec in self.specs
             if spec.kind in CACHE_FAULT_KINDS and spec.index == store_index
+        ]
+
+    def export_specs(self, export_index: int) -> list[FaultSpec]:
+        """Export faults armed for the *export_index*-th trace write."""
+        return [
+            spec
+            for spec in self.specs
+            if spec.kind in EXPORT_FAULT_KINDS and spec.index == export_index
         ]
 
     def corrupt_bytes(self, label: str) -> bytes:

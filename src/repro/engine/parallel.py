@@ -106,7 +106,7 @@ def _pool_task(packed: tuple) -> tuple:
         )
         if marker is not None:
             return marker, None, None, 0.0
-    start_s = time.perf_counter()
+    start_s = time.perf_counter()  # reprolint: disable=DET001 -- wall-clock obs span; wall_ms is telemetry, never merged into results
     records = snapshot = None
     if observe:
         tracer, metrics = _obs.enable(tid="worker")
@@ -118,7 +118,7 @@ def _pool_task(packed: tuple) -> tuple:
             _obs.disable()
     else:
         result = fn(payload)
-    wall_ms = (time.perf_counter() - start_s) * 1e3
+    wall_ms = (time.perf_counter() - start_s) * 1e3  # reprolint: disable=DET001 -- wall-clock obs span; wall_ms is telemetry, never merged into results
     return result, records, snapshot, wall_ms
 
 
@@ -160,6 +160,15 @@ class ParallelMap:
         pool is presumed hung, killed, and the unfinished tasks retried.
         ``None`` (default) waits forever — set it whenever hangs are a
         real risk.
+    task_deadline_s:
+        Per-task deadline: a pooled task still running this long after
+        submission is declared hung even while *other* tasks keep
+        completing (the case the per-wait watchdog cannot see).  The
+        expired task is quarantined with precise attribution — no
+        bisection needed — the pool is recycled, and innocent in-flight
+        tasks are retried as ordinary soft failures.  ``None`` (default)
+        disables it.  Like ``timeout_s``, the serial backend cannot
+        preempt a running task, so this only guards the process backend.
     deadline_s:
         Upper bound on one whole :meth:`map` call (all attempts
         included); exceeded deadlines raise
@@ -182,6 +191,7 @@ class ParallelMap:
         workers: int = 1,
         *,
         timeout_s: float | None = None,
+        task_deadline_s: float | None = None,
         deadline_s: float | None = None,
         max_retries: int = 2,
         backoff_base_s: float = 0.05,
@@ -193,6 +203,10 @@ class ParallelMap:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if timeout_s is not None and timeout_s <= 0:
             raise ValueError(f"timeout_s must be > 0, got {timeout_s}")
+        if task_deadline_s is not None and task_deadline_s <= 0:
+            raise ValueError(
+                f"task_deadline_s must be > 0, got {task_deadline_s}"
+            )
         if deadline_s is not None and deadline_s <= 0:
             raise ValueError(f"deadline_s must be > 0, got {deadline_s}")
         if max_retries < 0:
@@ -203,6 +217,7 @@ class ParallelMap:
             raise ValueError(f"backoff_jitter must be >= 0, got {backoff_jitter}")
         self.workers = workers
         self.timeout_s = timeout_s
+        self.task_deadline_s = task_deadline_s
         self.deadline_s = deadline_s
         self.max_retries = max_retries
         self.backoff_base_s = backoff_base_s
@@ -365,7 +380,7 @@ class _MapRun:
         #: Fresh-pool budget for this call; exhausting it degrades to
         #: serial for good rather than thrashing pool startup forever.
         self.restarts_left = 4 + 2 * pmap.max_retries
-        self.start_monotonic_s = time.monotonic()
+        self.start_monotonic_s = time.monotonic()  # reprolint: disable=DET001 -- watchdog/deadline bookkeeping; wall time gates retries, not results
 
     # -- round loop --------------------------------------------------------
 
@@ -423,24 +438,55 @@ class _MapRun:
         deadline_s = self.pmap.deadline_s
         if deadline_s is None:
             return
-        if time.monotonic() - self.start_monotonic_s > deadline_s:
+        if time.monotonic() - self.start_monotonic_s > deadline_s:  # reprolint: disable=DET001 -- watchdog/deadline bookkeeping; wall time gates retries, not results
             self.pmap._kill_pool()
             raise MapDeadlineError(
                 f"map deadline of {deadline_s:g}s exceeded with "
                 f"{n_pending} task(s) unfinished"
             )
 
-    def wait_timeout_s(self) -> float | None:
-        """The next pool-wait slice: stall watchdog vs remaining deadline."""
+    def wait_timeout_s(
+        self, next_task_expiry_s: float | None = None
+    ) -> float | None:
+        """The next pool-wait slice: stall watchdog vs remaining deadlines.
+
+        *next_task_expiry_s* is how long until the earliest in-flight
+        task trips ``task_deadline_s`` — the wait must wake up by then
+        even when no task completes and no per-wait watchdog is set.
+        """
         candidates = []
         if self.pmap.timeout_s is not None:
             candidates.append(self.pmap.timeout_s)
         if self.pmap.deadline_s is not None:
-            elapsed_s = time.monotonic() - self.start_monotonic_s
+            elapsed_s = time.monotonic() - self.start_monotonic_s  # reprolint: disable=DET001 -- watchdog/deadline bookkeeping; wall time gates retries, not results
             candidates.append(self.pmap.deadline_s - elapsed_s)
+        if next_task_expiry_s is not None:
+            candidates.append(next_task_expiry_s)
         if not candidates:
             return None
         return max(_MIN_WAIT_S, min(candidates))
+
+    def next_task_expiry_s(
+        self, pending_futures: set, submitted_s: dict
+    ) -> float | None:
+        """Seconds until the earliest in-flight task trips its deadline."""
+        task_deadline_s = self.pmap.task_deadline_s
+        if task_deadline_s is None or not pending_futures:
+            return None
+        now_s = time.monotonic()  # reprolint: disable=DET001 -- watchdog/deadline bookkeeping; wall time gates retries, not results
+        oldest_s = min(submitted_s[f] for f in pending_futures)
+        return task_deadline_s - (now_s - oldest_s)
+
+    def expired_tasks(self, pending_futures: set, submitted_s: dict) -> list:
+        """In-flight futures whose task deadline has passed (stable order)."""
+        task_deadline_s = self.pmap.task_deadline_s
+        if task_deadline_s is None or not pending_futures:
+            return []
+        now_s = time.monotonic()  # reprolint: disable=DET001 -- watchdog/deadline bookkeeping; wall time gates retries, not results
+        return sorted(
+            (f for f in pending_futures if now_s - submitted_s[f] > task_deadline_s),
+            key=lambda f: submitted_s[f],
+        )
 
     # -- classification ----------------------------------------------------
 
@@ -505,6 +551,7 @@ class _MapRun:
         observe = _obs.enabled()
         broken_types = _broken_pool_errors()
         futures: dict = {}
+        submitted_s: dict = {}
         uncovered: list[int] = []
         broken = False
         for position, i in enumerate(indices):
@@ -512,7 +559,9 @@ class _MapRun:
                 self.fn, self.payloads[i], self.op, i, self.attempts[i], plan, observe,
             )
             try:
-                futures[executor.submit(_pool_task, packed)] = i
+                future = executor.submit(_pool_task, packed)
+                futures[future] = i
+                submitted_s[future] = time.monotonic()  # reprolint: disable=DET001 -- watchdog/deadline bookkeeping; wall time gates retries, not results
             except (*broken_types, RuntimeError) as exc:
                 # The pool died (or was shut down) under us mid-submit.
                 self.record_failure(i, exc)
@@ -526,10 +575,12 @@ class _MapRun:
         while pending_futures and not broken:
             done, pending_futures = wait(
                 pending_futures,
-                timeout=self.wait_timeout_s(),
+                timeout=self.wait_timeout_s(
+                    self.next_task_expiry_s(pending_futures, submitted_s)
+                ),
                 return_when=FIRST_COMPLETED,
             )
-            if not done:
+            if not done and not self.expired_tasks(pending_futures, submitted_s):
                 self.check_deadline(len(pending_futures))
                 stalled = True
                 pmap.timeouts += 1
@@ -552,6 +603,48 @@ class _MapRun:
                     soft.append(i)
                     continue
                 self.accept(i, shipped, soft)
+            expired = (
+                []
+                if broken
+                else self.expired_tasks(pending_futures, submitted_s)
+            )
+            if expired:
+                # Per-task deadline: the expired tasks are the proven
+                # offenders (completions kept flowing, these did not),
+                # so quarantine them directly — no bisection — kill the
+                # wedged pool, and retry the innocent in-flight tasks
+                # as ordinary soft failures.
+                self.check_deadline(len(pending_futures))
+                pmap.timeouts += len(expired)
+                _obs.counter("pool.timeouts").inc(len(expired))
+                for future in expired:
+                    i = futures[future]
+                    self.record_failure(
+                        i,
+                        TimeoutError(
+                            f"task {i} exceeded task_deadline_s="
+                            f"{pmap.task_deadline_s:g} in a pool worker"
+                        ),
+                    )
+                    if i not in self.poison:
+                        self.poison.add(i)
+                        pmap.quarantined += 1
+                        _obs.counter("pool.quarantined").inc()
+                    soft.append(i)
+                innocents = sorted(
+                    futures[f] for f in pending_futures if f not in expired
+                )
+                for i in innocents:
+                    self.record_failure(
+                        i,
+                        TimeoutError(
+                            f"task {i} was in flight when the pool was "
+                            "recycled for an expired task"
+                        ),
+                    )
+                soft += innocents
+                self.restart_pool()
+                return soft
         if broken:
             unresolved.update(
                 futures[f] for f in pending_futures if self.results[futures[f]] is _UNSET

@@ -23,19 +23,35 @@ Overhead % economics reconcile against (see tests/test_obs_integration.py).
 Loading is strict about structure (:class:`~repro.util.errors.ValidationError`
 on corrupt or partial files, so the CLI can exit with a clear error) but
 lenient about content: unknown phases and extra keys are ignored.
+
+Writing is all-or-nothing: :func:`write_trace` serializes to a temporary
+file in the destination directory and publishes with an atomic
+``os.replace``, so a crash mid-export leaves either the previous complete
+trace or no file — never a truncated one.  The contract is chaos-tested
+through :class:`~repro.engine.faults.FaultPlan` ``crash_export`` /
+``torn_export`` specs (see tests/test_obs_export_faults.py).
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.obs.tracer import SpanRecord
 from repro.util.errors import ValidationError
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.engine.faults import FaultPlan
+
 #: Trace-format identifier stamped into ``otherData.meta``.
 TRACE_FORMAT_VERSION = 1
+
+#: Process-wide count of :func:`write_trace` calls — the coordinate
+#: ``crash_export`` / ``torn_export`` fault specs address by ``index``.
+_EXPORT_OPS = 0
 
 
 def _jsonable(value: object) -> object:
@@ -92,19 +108,75 @@ def to_chrome_trace(
     }
 
 
+def _reset_export_ops() -> None:
+    """Rewind the export-fault coordinate (test isolation only)."""
+    global _EXPORT_OPS
+    _EXPORT_OPS = 0
+
+
 def write_trace(
     path: str | Path,
     records: Sequence[SpanRecord],
     metrics_snapshot: dict | None = None,
     meta: dict | None = None,
+    fault_plan: "FaultPlan | None" = None,
 ) -> Path:
-    """Serialize *records* + metrics as a Chrome trace file; returns the path."""
+    """Serialize *records* + metrics as a Chrome trace file; returns the path.
+
+    The write is atomic: the document lands in a same-directory temp file
+    first and is published with ``os.replace``, so *path* only ever holds
+    a complete trace.  An active *fault_plan* with ``torn_export`` /
+    ``crash_export`` specs interrupts the write mid-flight (truncated
+    temp file / death just before publish) and raises
+    :class:`~repro.engine.faults.FaultInjectionError` — in both cases the
+    destination is untouched, which is the property the chaos suite pins.
+    """
+    global _EXPORT_OPS
     p = Path(path)
     doc = to_chrome_trace(records, metrics_snapshot, meta)
     if p.parent != Path("."):
         p.parent.mkdir(parents=True, exist_ok=True)
-    p.write_text(json.dumps(doc, indent=1) + "\n", encoding="utf-8")
+    payload = (json.dumps(doc, indent=1) + "\n").encode("utf-8")
+    specs = []
+    if fault_plan is not None:
+        specs = fault_plan.export_specs(_EXPORT_OPS)
+    _EXPORT_OPS += 1
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(p.parent) or ".", prefix=p.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            for spec in specs:
+                if spec.kind == "torn_export":
+                    # Simulate dying mid-write: half the bytes reach the
+                    # temp file, the destination never changes.
+                    handle.write(payload[: max(1, len(payload) // 2)])
+                    handle.flush()
+                    _raise_injected(
+                        f"injected torn export while writing {p}", tmp_name
+                    )
+            handle.write(payload)
+        for spec in specs:
+            if spec.kind == "crash_export":
+                # Simulate dying after the temp write but before the
+                # atomic publish: the destination never changes.
+                _raise_injected(
+                    f"injected export crash before publishing {p}", tmp_name
+                )
+        os.replace(tmp_name, p)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
     return p
+
+
+def _raise_injected(message: str, tmp_name: str) -> None:
+    from repro.engine.faults import FaultInjectionError
+
+    raise FaultInjectionError(f"{message} (temp file was {tmp_name})")
 
 
 def load_trace(path: str | Path) -> tuple[list[dict], dict]:

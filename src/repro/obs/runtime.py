@@ -30,16 +30,16 @@ def enable(tid: str = "main") -> tuple[RecordingTracer, MetricsRegistry]:
     (pool workers rely on this to isolate per-task buffers).
     """
     global _tracer, _metrics
-    _tracer = RecordingTracer(tid=tid)
-    _metrics = MetricsRegistry()
+    _tracer = RecordingTracer(tid=tid)  # reprolint: disable=PAR001 -- per-process obs buffer; workers ship records back explicitly
+    _metrics = MetricsRegistry()  # reprolint: disable=PAR001 -- per-process obs buffer; workers ship records back explicitly
     return _tracer, _metrics
 
 
 def disable() -> None:
     """Back to the zero-overhead no-ops (recorded buffers are dropped)."""
     global _tracer, _metrics
-    _tracer = _NOOP_TRACER
-    _metrics = _NOOP_METRICS
+    _tracer = _NOOP_TRACER  # reprolint: disable=PAR001 -- per-process obs buffer; workers ship records back explicitly
+    _metrics = _NOOP_METRICS  # reprolint: disable=PAR001 -- per-process obs buffer; workers ship records back explicitly
 
 
 def enabled() -> bool:

@@ -114,7 +114,7 @@ class _ActiveSpan:
         self.cat = cat
         self.args = args
         self._sim_ms = 0.0
-        self._start_s = time.perf_counter()
+        self._start_s = time.perf_counter()  # reprolint: disable=DET001 -- wall-clock span timestamps are obs metadata, not results
 
     def add_sim_ms(self, sim_ms: float) -> None:
         """Attribute *sim_ms* simulated milliseconds to this span."""
@@ -158,8 +158,8 @@ class RecordingTracer:
 
     def __init__(self, tid: str = "main") -> None:
         self._records: list[SpanRecord] = []
-        self._epoch_s = time.perf_counter()
-        self.pid = os.getpid()
+        self._epoch_s = time.perf_counter()  # reprolint: disable=DET001 -- wall-clock span timestamps are obs metadata, not results
+        self.pid = os.getpid()  # reprolint: disable=DET001 -- pid tags trace records for debugging; results never read it
         self.tid = tid
 
     def span(self, name: str, cat: str = "repro", **attrs: object) -> _ActiveSpan:

@@ -1,0 +1,488 @@
+"""Whole-program analysis suite (repro.analysis v2).
+
+Covers the acceptance contract from docs/ANALYSIS.md §Project analysis:
+
+* every rule family fires on a fixture, including interprocedural cases
+  the per-file linter provably misses;
+* the suppression policy (justified directives silence, unjustified ones
+  are themselves reported);
+* the incremental cache (file-level reuse, whole-tree memo, corrupt-file
+  rejection, silent format-upgrade rebuild) and the warm <= 25% of cold
+  wall-time bound;
+* the ``--project`` CLI: exit codes 0/1/2 and the SARIF 2.1 report.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    AnalysisCache,
+    AnalysisCacheError,
+    PROJECT_RULES,
+    analyze_project,
+    lint_paths,
+    to_sarif,
+)
+from repro.analysis.__main__ import main as analysis_main
+from repro.analysis.anacache import CACHE_FORMAT
+from repro.analysis.project import analyze_source_set
+from repro.analysis.sarif import SARIF_SCHEMA, SARIF_VERSION, sarif_to_json
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+def write_tree(root, files):
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return root
+
+
+#: A cross-module tree: the worker fn is registered in driver.py but its
+#: entropy hides two calls deep in tasks.py — invisible per file.
+DET_TREE = {
+    "pkg/__init__.py": "",
+    "pkg/driver.py": """\
+        from pkg.tasks import work
+
+        def run(pool, items):
+            return pool.map(work, items)
+        """,
+    "pkg/tasks.py": """\
+        import time
+
+        def work(x):
+            return helper(x)
+
+        def helper(x):
+            return time.time() + x
+        """,
+}
+
+
+class TestDetRules:
+    def test_det001_interprocedural_chain(self):
+        findings = analyze_source_set(
+            {
+                k.split("/", 1)[1]: textwrap.dedent(v)
+                for k, v in DET_TREE.items()
+            },
+            package="pkg",
+        )
+        assert codes(findings) == ["DET001"]
+        (finding,) = findings
+        assert finding.path == "tasks.py"
+        assert "time.time" in finding.message
+        # The chain names the route from the registered task to the sink.
+        assert "work" in finding.message and "helper" in finding.message
+
+    def test_det001_only_fires_on_task_reachable_code(self):
+        findings = analyze_source_set(
+            {
+                "free.py": """\
+import time
+
+def not_a_task(x):
+    return time.time() + x
+"""
+            }
+        )
+        assert findings == []
+
+    def test_det002_unordered_iteration(self):
+        findings = analyze_source_set(
+            {
+                "scan.py": """\
+import os
+
+def run(pool, root):
+    return pool.map(scan, [root])
+
+def scan(root):
+    return [name for name in os.listdir(root)]
+"""
+            }
+        )
+        assert codes(findings) == ["DET002"]
+        assert "sorted(" in findings[0].message
+
+    def test_parallel_false_registration_is_exempt(self):
+        findings = analyze_source_set(
+            {
+                "serial.py": """\
+import time
+
+def run(engine, items):
+    return engine.cached_map(work, items, parallel=False)
+
+def work(x):
+    return time.time() + x
+"""
+            }
+        )
+        assert findings == []
+
+
+class TestParRules:
+    def test_par001_module_state_write_interprocedural(self):
+        findings = analyze_source_set(
+            {
+                "state.py": """\
+RESULTS = []
+
+def record(x):
+    RESULTS.append(x)
+""",
+                "driver.py": """\
+from state import record
+
+def run(pool, items):
+    return pool.map(record, items)
+""",
+            }
+        )
+        assert codes(findings) == ["PAR001"]
+        assert "RESULTS" in findings[0].message
+
+    def test_par001_global_statement_write(self):
+        findings = analyze_source_set(
+            {
+                "counter.py": """\
+COUNT = 0
+
+def run(pool, items):
+    return pool.map(bump, items)
+
+def bump(x):
+    global COUNT
+    COUNT += 1
+    return x
+"""
+            }
+        )
+        assert codes(findings) == ["PAR001"]
+        assert "COUNT" in findings[0].message
+
+    def test_par002_lambda_shipped_to_pool(self):
+        findings = analyze_source_set(
+            {
+                "lam.py": """\
+def run(pool, items):
+    return pool.map(lambda x: x + 1, items)
+"""
+            }
+        )
+        assert codes(findings) == ["PAR002"]
+
+    def test_par_reads_are_fine(self):
+        findings = analyze_source_set(
+            {
+                "ro.py": """\
+TABLE = {"a": 1}
+
+def run(pool, items):
+    return pool.map(look, items)
+
+def look(x):
+    return TABLE.get(x, 0)
+"""
+            }
+        )
+        assert findings == []
+
+
+class TestUnitRules:
+    def test_unitx001_local_mixed_arithmetic(self):
+        findings = analyze_source_set(
+            {
+                "mix.py": """\
+def total(span_ms, budget_s):
+    return span_ms + budget_s
+"""
+            }
+        )
+        assert codes(findings) == ["UNITX001"]
+
+    def test_unitx001_conversion_via_multiply_is_fine(self):
+        findings = analyze_source_set(
+            {
+                "conv.py": """\
+def total(span_ms, budget_s):
+    return span_ms + budget_s * 1000.0
+"""
+            }
+        )
+        assert findings == []
+
+    def test_unitx002_interprocedural_param_mismatch(self):
+        findings = analyze_source_set(
+            {
+                "callee.py": """\
+def sleep_for(duration_ms):
+    return duration_ms
+""",
+                "caller.py": """\
+from callee import sleep_for
+
+def go():
+    timeout_s = 3.0
+    return sleep_for(timeout_s)
+""",
+            }
+        )
+        assert codes(findings) == ["UNITX002"]
+        assert findings[0].path == "caller.py"
+
+    def test_unitx003_conflicting_units_across_call_sites(self):
+        findings = analyze_source_set(
+            {
+                "sink.py": """\
+def record(value):
+    return value
+
+def from_a():
+    size_bytes = 10
+    return record(size_bytes)
+
+def from_b():
+    span_ms = 1.0
+    return record(span_ms)
+"""
+            }
+        )
+        assert codes(findings) == ["UNITX003"]
+
+
+class TestSuppressions:
+    SRC = """\
+import time
+
+def run(pool, items):
+    return pool.map(work, items)
+
+def work(x):
+    return time.time() + x{directive}
+"""
+
+    def test_justified_suppression_silences(self):
+        src = self.SRC.format(
+            directive="  # reprolint: disable=DET001 -- telemetry only"
+        )
+        assert analyze_source_set({"s.py": src}) == []
+
+    def test_unjustified_suppression_is_reported(self):
+        src = self.SRC.format(directive="  # reprolint: disable=DET001")
+        findings = analyze_source_set({"s.py": src})
+        assert codes(findings) == ["DET001"]
+        assert "unjustified" in findings[0].message
+
+    def test_wrong_code_suppression_keeps_finding(self):
+        src = self.SRC.format(
+            directive="  # reprolint: disable=PAR001 -- wrong rule"
+        )
+        findings = analyze_source_set({"s.py": src})
+        assert codes(findings) == ["DET001"]
+        assert "unjustified" not in findings[0].message
+
+
+class TestPerFileLinterMissesWhatProjectCatches:
+    def test_interprocedural_det_invisible_per_file(self, tmp_path):
+        write_tree(tmp_path, DET_TREE)
+        per_file = lint_paths([str(tmp_path)])
+        assert per_file == []  # nothing is wrong with any file in isolation
+        report = analyze_project(tmp_path)
+        assert codes(report.findings) == ["DET001"]
+
+
+class TestSyntaxErrors:
+    def test_syn001_for_unparsable_file(self, tmp_path):
+        write_tree(tmp_path, {"bad.py": "def broken(:\n"})
+        report = analyze_project(tmp_path)
+        assert codes(report.findings) == ["SYN001"]
+
+
+class TestIncrementalCache:
+    TREE = {
+        "pkg/__init__.py": "",
+        "pkg/a.py": "def alpha(x):\n    return x + 1\n",
+        "pkg/b.py": "def beta(x):\n    return x * 2\n",
+    }
+
+    def test_second_run_is_a_memo_hit_with_equal_findings(self, tmp_path):
+        root = write_tree(tmp_path / "src", DET_TREE)
+        cache = tmp_path / "cache.json"
+        cold = analyze_project(root, cache_path=cache)
+        warm = analyze_project(root, cache_path=cache)
+        assert not cold.memo_hit and warm.memo_hit
+        assert warm.findings == cold.findings
+
+    def test_editing_one_file_reuses_the_other_summaries(self, tmp_path):
+        root = write_tree(tmp_path / "src", self.TREE)
+        cache = tmp_path / "cache.json"
+        analyze_project(root, cache_path=cache)
+        (root / "pkg" / "a.py").write_text(
+            "def alpha(x):\n    return x + 2\n", encoding="utf-8"
+        )
+        report = analyze_project(root, cache_path=cache)
+        assert not report.memo_hit
+        assert report.files_analyzed == 3
+        assert report.files_from_cache == 2
+
+    def test_corrupt_cache_raises_with_clear_message(self, tmp_path):
+        root = write_tree(tmp_path / "src", self.TREE)
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json", encoding="utf-8")
+        with pytest.raises(AnalysisCacheError, match="delete it and re-run"):
+            analyze_project(root, cache_path=cache)
+
+    def test_wrong_shape_cache_is_corrupt(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        cache.write_text(json.dumps([1, 2, 3]), encoding="utf-8")
+        store = AnalysisCache(cache)
+        with pytest.raises(AnalysisCacheError):
+            store.load()
+
+    def test_format_mismatch_rebuilds_silently(self, tmp_path):
+        root = write_tree(tmp_path / "src", self.TREE)
+        cache = tmp_path / "cache.json"
+        cache.write_text(
+            json.dumps({"format": CACHE_FORMAT + 1, "files": {}, "tree": None}),
+            encoding="utf-8",
+        )
+        report = analyze_project(root, cache_path=cache)  # must not raise
+        assert report.files_from_cache == 0
+        # The rebuilt cache is current-format and serves the next run.
+        assert analyze_project(root, cache_path=cache).memo_hit
+
+    def test_warm_run_is_at_most_a_quarter_of_cold(self, tmp_path):
+        # A synthetic tree big enough that parsing dominates the cold run.
+        body = "\n\n".join(
+            f"def fn_{i}(x):\n"
+            f"    y = x + {i}\n"
+            f"    for j in range(10):\n"
+            f"        y += j * {i}\n"
+            f"    return y" for i in range(40)
+        )
+        files = {f"pkg/mod_{i}.py": body for i in range(30)}
+        files["pkg/__init__.py"] = ""
+        root = write_tree(tmp_path / "src", files)
+        cache = tmp_path / "cache.json"
+        cold = analyze_project(root, cache_path=cache)
+        warm = analyze_project(root, cache_path=cache)
+        assert warm.memo_hit
+        assert warm.wall_s <= 0.25 * cold.wall_s, (
+            f"warm {warm.wall_s:.3f}s vs cold {cold.wall_s:.3f}s"
+        )
+
+
+class TestShippedTreeIsClean:
+    def test_src_repro_has_no_unsuppressed_findings(self):
+        report = analyze_project("src/repro")
+        assert report.findings == []
+        assert report.files_analyzed > 50
+
+
+class TestProjectCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        root = write_tree(tmp_path / "src", TestIncrementalCache.TREE)
+        assert analysis_main(["--project", str(root)]) == 0
+        out = capsys.readouterr()
+        assert "clean: no findings" in out.out
+        assert "analyzed 3 files" in out.err
+
+    def test_findings_exit_nonzero(self, tmp_path, capsys):
+        root = write_tree(tmp_path / "src", DET_TREE)
+        assert analysis_main(["--project", str(root)]) == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_corrupt_cache_is_a_clear_usage_error(self, tmp_path, capsys):
+        root = write_tree(tmp_path / "src", TestIncrementalCache.TREE)
+        cache = tmp_path / "cache.json"
+        cache.write_text("garbage", encoding="utf-8")
+        code = analysis_main(["--project", str(root), "--cache", str(cache)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "corrupt" in err and "delete it and re-run" in err
+
+    def test_missing_root_is_a_usage_error(self, tmp_path, capsys):
+        code = analysis_main(["--project", str(tmp_path / "nope")])
+        assert code == 2
+
+    def test_project_rejects_subcommand_combo(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            analysis_main(["--project", str(tmp_path), "lint", "x.py"])
+        assert exc.value.code == 2
+
+    def test_select_and_ignore_filter_project_findings(self, tmp_path, capsys):
+        root = write_tree(tmp_path / "src", DET_TREE)
+        code = analysis_main(["--project", str(root), "--ignore", "DET001"])
+        assert code == 0
+        code = analysis_main(["--project", str(root), "--select", "DET001"])
+        assert code == 1
+
+    def test_rules_lists_project_catalog(self, capsys):
+        assert analysis_main(["rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DET001", "DET002", "PAR001", "PAR002", "UNITX001"):
+            assert code in out
+
+
+class TestSarif:
+    def test_cli_writes_valid_sarif(self, tmp_path, capsys):
+        root = write_tree(tmp_path / "src", DET_TREE)
+        sarif_path = tmp_path / "out.sarif"
+        code = analysis_main(
+            ["--project", str(root), "--sarif", str(sarif_path)]
+        )
+        assert code == 1
+        doc = json.loads(sarif_path.read_text(encoding="utf-8"))
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert doc["$schema"] == SARIF_SCHEMA
+        (run,) = doc["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "reprolint"
+        rule_ids = [r["id"] for r in driver["rules"]]
+        assert set(PROJECT_RULES) <= set(rule_ids)
+        (result,) = run["results"]
+        assert result["ruleId"] == "DET001"
+        assert rule_ids[result["ruleIndex"]] == "DET001"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+
+    def test_level_mapping(self):
+        from repro.analysis.findings import Finding
+
+        findings = [
+            Finding(code="DET001", message="m", path="a.py", line=1, col=0),
+            Finding(code="UNITX001", message="m", path="a.py", line=2, col=0),
+        ]
+        doc = to_sarif(findings, PROJECT_RULES)
+        levels = {r["ruleId"]: r["level"] for r in doc["runs"][0]["results"]}
+        assert levels == {"DET001": "error", "UNITX001": "warning"}
+
+    def test_unknown_code_gets_a_stub_rule(self):
+        from repro.analysis.findings import Finding
+
+        doc = to_sarif(
+            [Finding(code="ZZZ999", message="m", path="a.py", line=1, col=0)],
+            {},
+        )
+        (rule,) = doc["runs"][0]["tool"]["driver"]["rules"]
+        assert rule["id"] == "ZZZ999"
+
+    def test_serialization_is_stable(self):
+        doc = to_sarif([], PROJECT_RULES)
+        assert sarif_to_json(doc) == sarif_to_json(json.loads(sarif_to_json(doc)))
+
+    def test_format_sarif_prints_document(self, tmp_path, capsys):
+        root = write_tree(tmp_path / "src", TestIncrementalCache.TREE)
+        assert analysis_main(["--project", str(root), "--format", "sarif"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"

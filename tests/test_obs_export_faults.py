@@ -1,0 +1,129 @@
+"""Chaos suite for the obs trace exporter's all-or-nothing contract.
+
+``write_trace`` publishes with a same-directory temp file + ``os.replace``,
+so an export interrupted mid-write (``torn_export``) or just before the
+publish (``crash_export``) must leave the destination either untouched
+(previous complete trace) or absent — never truncated.  These tests drive
+both interruption points through :class:`~repro.engine.faults.FaultPlan`
+and assert the destination stays loadable (or stays gone) and that no
+temp-file litter survives.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.faults import FaultInjectionError, FaultPlan, FaultSpec
+from repro.obs import export as export_mod
+from repro.obs import load_trace, write_trace
+from repro.obs.tracer import SpanRecord
+
+
+def _span(name: str, sim_ms: float = 1.0) -> SpanRecord:
+    return SpanRecord(
+        name=name,
+        cat="test",
+        ts_us=0.0,
+        dur_us=100.0,
+        sim_ms=sim_ms,
+        pid=1234,
+        tid="main",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _rewind_export_ops():
+    """Export-fault specs address a process-global call counter."""
+    export_mod._reset_export_ops()
+    yield
+    export_mod._reset_export_ops()
+
+
+def _tmp_litter(directory):
+    return [p for p in directory.iterdir() if p.suffix == ".tmp"]
+
+
+class TestAtomicWrite:
+    def test_plain_write_round_trips(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_trace(path, [_span("a")], meta={"k": "v"})
+        events, _ = load_trace(path)
+        assert [e["name"] for e in events] == ["a"]
+        assert _tmp_litter(tmp_path) == []
+
+    def test_unmatched_plan_writes_normally(self, tmp_path):
+        plan = FaultPlan(specs=(FaultSpec(kind="torn_export", index=7),))
+        path = tmp_path / "trace.json"
+        write_trace(path, [_span("a")], fault_plan=plan)
+        events, _ = load_trace(path)
+        assert len(events) == 1
+
+
+class TestTornExport:
+    def test_fresh_destination_stays_absent(self, tmp_path):
+        plan = FaultPlan(specs=(FaultSpec(kind="torn_export", index=0),))
+        path = tmp_path / "trace.json"
+        with pytest.raises(FaultInjectionError, match="torn export"):
+            write_trace(path, [_span("a")], fault_plan=plan)
+        assert not path.exists()
+        assert _tmp_litter(tmp_path) == []
+
+    def test_previous_trace_survives_intact(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_trace(path, [_span("original", sim_ms=42.0)])
+        plan = FaultPlan(specs=(FaultSpec(kind="torn_export", index=1),))
+        with pytest.raises(FaultInjectionError):
+            write_trace(path, [_span("replacement")], fault_plan=plan)
+        events, _ = load_trace(path)
+        assert [e["name"] for e in events] == ["original"]
+        assert events[0]["args"]["sim_ms"] == 42.0
+
+
+class TestCrashExport:
+    def test_crash_before_publish_leaves_no_file(self, tmp_path):
+        plan = FaultPlan(specs=(FaultSpec(kind="crash_export", index=0),))
+        path = tmp_path / "trace.json"
+        with pytest.raises(FaultInjectionError, match="export crash"):
+            write_trace(path, [_span("a")], fault_plan=plan)
+        assert not path.exists()
+        assert _tmp_litter(tmp_path) == []
+
+    def test_crash_preserves_previous_trace(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_trace(path, [_span("original")])
+        plan = FaultPlan(specs=(FaultSpec(kind="crash_export", index=1),))
+        with pytest.raises(FaultInjectionError):
+            write_trace(path, [_span("replacement")], fault_plan=plan)
+        events, _ = load_trace(path)
+        assert [e["name"] for e in events] == ["original"]
+
+    def test_retry_after_injected_crash_succeeds(self, tmp_path):
+        """A once-armed spec fires once; the re-run publishes cleanly."""
+        plan = FaultPlan(specs=(FaultSpec(kind="crash_export", index=0),))
+        path = tmp_path / "trace.json"
+        with pytest.raises(FaultInjectionError):
+            write_trace(path, [_span("a")], fault_plan=plan)
+        write_trace(path, [_span("a")], fault_plan=plan)
+        events, _ = load_trace(path)
+        assert len(events) == 1
+
+
+class TestPlanPlumbing:
+    def test_export_specs_match_by_call_index(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(kind="torn_export", index=0),
+                FaultSpec(kind="crash_export", index=2),
+                FaultSpec(kind="crash", index=0),
+            )
+        )
+        assert [s.kind for s in plan.export_specs(0)] == ["torn_export"]
+        assert plan.export_specs(1) == []
+        assert [s.kind for s in plan.export_specs(2)] == ["crash_export"]
+
+    def test_export_kinds_are_registered(self):
+        from repro.engine.faults import EXPORT_FAULT_KINDS, FAULT_KINDS
+
+        assert EXPORT_FAULT_KINDS <= FAULT_KINDS
+        FaultSpec(kind="torn_export")
+        FaultSpec(kind="crash_export")

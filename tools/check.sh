@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Local gate, mirroring .github/workflows/ci.yml step for step: the
 # repo-invariant lint (src/repro, which includes the src/repro/engine
-# package), the API surface snapshot (docs/API.md vs the live surface),
-# the engine test suite, then the full tier-1 test suite.
+# package), the whole-program project analysis (determinism /
+# parallel-safety / unit rules over the project graph), the API surface
+# snapshot (docs/API.md vs the live surface), the engine test suite,
+# then the full tier-1 test suite.
 # Run from the repository root:
 #
-#     tools/check.sh            # lint + API snapshot + engine + tier-1 tests
+#     tools/check.sh            # lint + analysis + API snapshot + tests
 #     tools/check.sh --lint-only
 set -euo pipefail
 
@@ -15,6 +17,10 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== repro.analysis lint (src/repro, incl. src/repro/engine) =="
 test -d src/repro/engine  # the engine package must exist and be linted
 python -m repro.analysis lint src/repro
+
+echo
+echo "== repro.analysis project analysis (whole-program DET/PAR/UNIT-X) =="
+python -m repro.analysis --project src/repro
 
 if [[ "${1:-}" == "--lint-only" ]]; then
     exit 0
