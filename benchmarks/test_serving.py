@@ -1,0 +1,48 @@
+"""Serving throughput acceptance (docs/SERVING.md).
+
+The ISSUE acceptance bar, as tests: at bench scale, two server worker
+processes sharing one flock-guarded cache directory must sustain at
+least 500 requests/sec on the fixed-seed load-generator stream with at
+least a 90% cache hit rate after warmup — and answer byte-identically
+across passes.  These run with plain pytest (no pytest-benchmark
+fixture): the measured quantity *is* the report the CI gate consumes,
+produced by the same :func:`repro.serve.bench.run_bench` entry point
+``tools/bench_report.py --serving`` shells out to.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE
+
+from repro.serve import TrafficSpec
+from repro.serve.bench import run_bench
+
+#: The CI stream: same seed the workflow passes to bench_report.
+SERVE_SPEC = TrafficSpec(n_requests=256, seed=2017, scale=BENCH_SCALE)
+
+#: Acceptance floors (ISSUE 7).
+MIN_THROUGHPUT_RPS = 500.0
+MIN_WARM_HIT_RATE = 0.90
+
+
+def test_two_workers_sustain_throughput_and_hit_rate(tmp_path):
+    report = run_bench(SERVE_SPEC, cache_dir=str(tmp_path), workers=2)
+    assert report["errors"] == 0
+    assert report["answered"] == SERVE_SPEC.n_requests
+    assert report["throughput_rps"] >= MIN_THROUGHPUT_RPS
+    assert report["hit_rate"] >= MIN_WARM_HIT_RATE
+    # Warmup and measured passes answered byte-identically.
+    assert report["deterministic"]
+    assert report["latency_p99_ms"] > 0.0
+
+
+def test_repeated_bench_reproduces_the_response_digest(tmp_path):
+    """Same spec, fresh caches: the response-stream digest is stable."""
+    first = run_bench(
+        SERVE_SPEC, cache_dir=str(tmp_path / "a"), workers=1, warmup=False
+    )
+    second = run_bench(
+        SERVE_SPEC, cache_dir=str(tmp_path / "b"), workers=1, warmup=False
+    )
+    assert first["errors"] == second["errors"] == 0
+    assert first["digest"] == second["digest"]

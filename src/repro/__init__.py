@@ -50,6 +50,10 @@ Subpackages
 ``repro.obs``
     Observability: span tracing, metrics, Chrome-trace export
     (``python -m repro.obs``); see docs/OBSERVABILITY.md.
+``repro.serve``
+    Tuning-as-a-service: the asyncio partition-tuning server, traffic
+    generator, and throughput benchmark (``python -m repro.serve``); see
+    docs/SERVING.md.
 
 The names re-exported here (see ``__all__``) are the library's stable
 public API; anything else may move between releases (old locations keep
@@ -113,6 +117,12 @@ _LAZY_ATTRS = {
     "run_experiments": ("repro.experiments.cli", "main"),
     "lint_paths": ("repro.analysis", "lint_paths"),
     "analyze_project": ("repro.analysis", "analyze_project"),
+    # tuning service (repro.serve) — pulls in the experiment runners.
+    "TuneRequest": ("repro.serve", "TuneRequest"),
+    "TuneResponse": ("repro.serve", "TuneResponse"),
+    "TuningServer": ("repro.serve", "TuningServer"),
+    "ServeConfig": ("repro.serve", "ServeConfig"),
+    "tune": ("repro.serve", "tune"),
 }
 
 
@@ -172,5 +182,11 @@ __all__ = [
     "run_experiments",
     "lint_paths",
     "analyze_project",
+    # tuning service (repro.serve, lazy)
+    "TuneRequest",
+    "TuneResponse",
+    "TuningServer",
+    "ServeConfig",
+    "tune",
     "__version__",
 ]

@@ -160,7 +160,30 @@ def analyze_project(
     without building the graph; the cache file is created/updated
     atomically on the way out.  A corrupt cache file raises
     :class:`~repro.analysis.anacache.AnalysisCacheError`.
+
+    Cached runs additionally serialize against each other through an
+    inter-process :class:`~repro.engine.locks.ShardLock` on
+    ``<cache_path>.lock``: when two ``--project`` invocations share one
+    checkout (e.g. parallel CI legs), the second waits for the first and
+    then replays its freshly warmed memo instead of paying a duplicate
+    cold analysis (the ROADMAP's analysis-cache carry-over).
     """
+    if cache_path is not None:
+        # Digest computation, memo check, analysis, and save must all sit
+        # inside the lock — otherwise the second run snapshots the tree
+        # before the first has saved and still analyzes cold.
+        from repro.engine.locks import ShardLock
+
+        lock_path = Path(cache_path).with_name(Path(cache_path).name + ".lock")
+        with ShardLock(lock_path).exclusive():
+            return _analyze_project_unlocked(root, cache_path=cache_path)
+    return _analyze_project_unlocked(root, cache_path=None)
+
+
+def _analyze_project_unlocked(
+    root: str | Path, *, cache_path: str | Path | None = None
+) -> ProjectReport:
+    """:func:`analyze_project` body (callers hold the cache lock)."""
     started = time.perf_counter()
     cache: AnalysisCache | None = None
     if cache_path is not None:

@@ -42,8 +42,11 @@ from repro.engine.faults import (
     InjectedCrashError,
     MapDeadlineError,
     PoisonTaskError,
+    arm_synth_faults,
 )
+from repro.engine.locks import ShardLock
 from repro.engine.parallel import ParallelMap, chunked
+from repro.engine.sharded import ShardedResultCache
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -58,7 +61,10 @@ __all__ = [
     "ParallelMap",
     "PoisonTaskError",
     "ResultCache",
+    "ShardLock",
+    "ShardedResultCache",
     "aggregate_stats",
+    "arm_synth_faults",
     "chunked",
     "code_version_salt",
     "fingerprint",

@@ -25,7 +25,7 @@ from pathlib import Path
 from typing import Callable, Sequence, TypeVar
 
 from repro.engine.cache import ResultCache
-from repro.engine.faults import FaultPlan
+from repro.engine.faults import SYNTH_FAULT_KINDS, FaultPlan, arm_synth_faults
 from repro.engine.parallel import ParallelMap
 
 _T = TypeVar("_T")
@@ -124,6 +124,13 @@ class Engine:
             and self.cache.fault_plan is None
         ):
             self.cache.fault_plan = self.fault_plan
+        if self.fault_plan is not None and any(
+            spec.kind in SYNTH_FAULT_KINDS for spec in self.fault_plan.specs
+        ):
+            # Dataset synthesis happens parent-side (before fan-out), so
+            # synth faults arm process-globally rather than per task;
+            # shutdown_engines() disarms.
+            arm_synth_faults(self.fault_plan)
         self.stats.effective_workers = self.parallel_map.effective_workers
 
     def close(self) -> None:
@@ -308,10 +315,15 @@ def aggregate_stats() -> dict:
 
 
 def shutdown_engines() -> None:
-    """Close every shared engine's worker pool and forget them (tests)."""
+    """Close every shared engine's worker pool and forget them (tests).
+
+    Also disarms any process-globally armed synthesis faults, so a chaos
+    engine cleaned up here cannot leak its plan into later runs.
+    """
     for engine in _ENGINES.values():
         engine.close()
     _ENGINES.clear()
+    arm_synth_faults(None)
 
 
 # Shared pools must not outlive the interpreter's orderly shutdown phase:

@@ -29,6 +29,17 @@ Fault kinds
     publishing / mid-write — exercises the exporter's all-or-nothing
     contract (the destination path must hold either the previous
     complete trace or nothing, never a truncated file).
+``crash_synth``
+    The *n*-th dataset *materialization* dies before the dataset exists
+    (:func:`repro.workloads.suite.load_dataset` calls
+    :func:`synth_fault_point` before building) — the last previously
+    uncovered fault surface.  Plans carrying synth specs are *armed*
+    process-globally (:func:`arm_synth_faults`; the engine arms its own
+    plan on construction, the tuning server arms per serve session), and
+    each materialization consumes one index — so a crashed synthesis is
+    never cached and the caller's retry, which is the ``index + 1``-th
+    call, succeeds naturally.  ``times=k`` widens the crash window to
+    ``k`` consecutive materializations starting at ``index``.
 
 Addressing and arming
 ---------------------
@@ -61,8 +72,13 @@ CACHE_FAULT_KINDS = frozenset({"corrupt_cache", "torn_cache"})
 #: Fault kinds applied to obs trace-export writes.
 EXPORT_FAULT_KINDS = frozenset({"crash_export", "torn_export"})
 
+#: Fault kinds applied to dataset synthesis (materialization).
+SYNTH_FAULT_KINDS = frozenset({"crash_synth"})
+
 #: Every recognized :attr:`FaultSpec.kind`.
-FAULT_KINDS = TASK_FAULT_KINDS | CACHE_FAULT_KINDS | EXPORT_FAULT_KINDS
+FAULT_KINDS = (
+    TASK_FAULT_KINDS | CACHE_FAULT_KINDS | EXPORT_FAULT_KINDS | SYNTH_FAULT_KINDS
+)
 
 #: Exit status an injected ``crash`` uses to kill its worker process.
 CRASH_EXIT_CODE = 70
@@ -215,6 +231,21 @@ class FaultPlan:
             if spec.kind in EXPORT_FAULT_KINDS and spec.index == export_index
         ]
 
+    def synth_specs(self, synth_index: int) -> list[FaultSpec]:
+        """Synthesis faults armed for the *synth_index*-th materialization.
+
+        ``times`` widens the window: a spec fires on materializations
+        ``index`` through ``index + times - 1``, so a caller retrying a
+        crashed synthesis (the next index) recovers once the window
+        closes.
+        """
+        return [
+            spec
+            for spec in self.specs
+            if spec.kind in SYNTH_FAULT_KINDS
+            and spec.index <= synth_index < spec.index + spec.times
+        ]
+
     def corrupt_bytes(self, label: str) -> bytes:
         """Deterministic invalid-JSON garbage for a ``corrupt_cache`` fault."""
         digest = hashlib.sha256(f"{self.seed}\x1f{label}".encode()).hexdigest()
@@ -245,3 +276,53 @@ def apply_task_faults(
         elif spec.kind == "corrupt_result":
             return CORRUPT_RESULT
     return None
+
+
+# -- dataset-synthesis faults ----------------------------------------------
+#
+# Dataset materialization has no per-call plan parameter (it happens deep
+# under lru-cached loaders), so synth faults arm process-globally: the
+# last armed plan wins, `arm_synth_faults(None)` disarms, and
+# `shutdown_engines()` disarms as part of test/process cleanup.  The
+# armed state never changes what a *successful* materialization builds.
+
+_SYNTH_STATE: dict[str, object] = {"plan": None, "count": 0}
+
+
+def arm_synth_faults(plan: FaultPlan | None) -> None:
+    """Arm (or, with ``None``, disarm) synthesis faults for this process.
+
+    Resets the materialization counter, so spec indices always count
+    from the moment of arming — the property that makes a chaos scenario
+    replay identically run after run.
+    """
+    _SYNTH_STATE["plan"] = plan  # reprolint: disable=PAR001 -- process-global chaos arming; workers materialize nothing (parent-side seeding)
+    _SYNTH_STATE["count"] = 0
+
+
+def armed_synth_plan() -> FaultPlan | None:
+    """The currently armed plan (``None`` when disarmed)."""
+    plan = _SYNTH_STATE["plan"]
+    return plan if isinstance(plan, FaultPlan) else None
+
+
+def synth_fault_point(label: str, *, in_worker: bool = False) -> None:
+    """One dataset materialization is about to run; fire armed faults.
+
+    Called by :func:`repro.workloads.suite.load_dataset` *before* any
+    building happens, so a fired crash leaves nothing half-made (and
+    nothing cached — the caller's retry re-enters cleanly as the next
+    materialization index).
+    """
+    plan = armed_synth_plan()
+    if plan is None:
+        return
+    index = int(_SYNTH_STATE["count"])  # type: ignore[call-overload]
+    _SYNTH_STATE["count"] = index + 1  # reprolint: disable=PAR001 -- process-global chaos counter; parent-side materialization only
+    for spec in plan.synth_specs(index):
+        if spec.kind == "crash_synth":
+            if in_worker:  # pragma: no cover - workers never materialize
+                os._exit(CRASH_EXIT_CODE)
+            raise InjectedCrashError(
+                f"injected dataset-synthesis crash (materialization #{index}: {label})"
+            )

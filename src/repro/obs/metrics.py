@@ -20,6 +20,17 @@ name                 kind        meaning
 ``pool.timeouts``       counter  stall-watchdog expiries (pool presumed hung, killed)
 ``pool.quarantined``    counter  poison-task quarantine events (bisection isolations)
 ``pool.fallbacks``      counter  permanent pool-to-serial fallbacks recorded
+``serve.requests``      counter  tuning-server requests submitted
+``serve.coalesced``     counter  requests that joined an in-flight duplicate
+``serve.batched``       counter  requests served in a shared-problem micro-batch
+``serve.computed``      counter  requests answered by a fresh computation
+``serve.cache.hit``     counter  requests answered from the sharded response cache
+``serve.cache.miss``    counter  response-cache lookups that had to compute
+``serve.shed``          counter  requests rejected because the bounded queue was full
+``serve.stale``         counter  requests answered stale after exhausted retries
+``serve.errors``        counter  requests failed with no cached or stale fallback
+``serve.queue_depth``   gauge    tuning-server queue depth after the last en/dequeue
+``serve.latency_ms``    histogram  per-request wall latency observed at the submitter
 ===================  ==========  =================================================
 
 Like the tracer, the module-level registry defaults to a no-op twin whose

@@ -1,0 +1,69 @@
+"""``repro.serve`` — tuning-as-a-service over the partitioning stack.
+
+The paper's framework answers one question offline: *where should this
+(algorithm, dataset, platform) split its work?*  This package turns that
+into a service (docs/SERVING.md): an asyncio
+:class:`~repro.serve.server.TuningServer` that
+
+* coalesces duplicate in-flight requests (single-flight),
+* micro-batches compatible requests so dataset synthesis and the
+  vectorized ``evaluate_grid`` pricing tables are paid once per group,
+* persists answers in a flock-guarded
+  :class:`~repro.engine.sharded.ShardedResultCache` shared safely across
+  server processes,
+* sheds load beyond a bounded queue with a typed
+  :class:`~repro.serve.api.ServerOverloadedError`, and retries / serves
+  stale under an armed :class:`~repro.engine.faults.FaultPlan`,
+
+while answering byte-for-byte what the pure :func:`~repro.serve.api.tune`
+function answers — serving is transport, never arithmetic.
+:mod:`repro.serve.loadgen` generates deterministic bursty Zipf traffic,
+:mod:`repro.serve.bench` runs the CI-gated multi-worker throughput
+benchmark, and ``python -m repro.serve`` exposes all three.
+"""
+
+from repro.serve.api import (
+    PROBLEM_KINDS,
+    ServeError,
+    ServerOverloadedError,
+    TuneFailedError,
+    TuneRequest,
+    TuneResponse,
+    build_problem,
+    tune,
+)
+from repro.serve.bench import run_bench
+from repro.serve.loadgen import (
+    ReplayResult,
+    TimedRequest,
+    TrafficSpec,
+    drive,
+    generate_traffic,
+    percentile,
+    replay,
+    request_universe,
+)
+from repro.serve.server import ServeConfig, ServedResponse, TuningServer
+
+__all__ = [
+    "PROBLEM_KINDS",
+    "ReplayResult",
+    "ServeConfig",
+    "ServeError",
+    "ServedResponse",
+    "ServerOverloadedError",
+    "TimedRequest",
+    "TrafficSpec",
+    "TuneFailedError",
+    "TuneRequest",
+    "TuneResponse",
+    "TuningServer",
+    "build_problem",
+    "drive",
+    "generate_traffic",
+    "percentile",
+    "replay",
+    "request_universe",
+    "run_bench",
+    "tune",
+]

@@ -1,0 +1,185 @@
+"""``python -m repro.serve`` — loadgen / serve / bench entry points.
+
+Subcommands
+-----------
+``loadgen``
+    Render a :class:`~repro.serve.loadgen.TrafficSpec` to a JSONL request
+    trace (stdout or ``--out``).  Same flags, same seed, same bytes.
+``serve``
+    Replay a trace (``--requests`` JSONL, or a generated stream) through
+    one in-process :class:`~repro.serve.server.TuningServer` and emit one
+    JSONL line per response: the canonical payload plus provenance.
+``bench``
+    The multi-worker throughput benchmark; prints the JSON report
+    :mod:`tools.bench_report` gates on.
+
+Exit status is non-zero when any request errored (serve/bench), so CI
+needn't parse the report to notice a broken run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+
+from repro.serve.bench import run_bench
+from repro.serve.loadgen import (
+    DEFAULT_LOADGEN_DATASETS,
+    TrafficSpec,
+    generate_traffic,
+    load_requests,
+    replay,
+    save_requests,
+)
+from repro.serve.server import ServeConfig
+
+
+def _add_traffic_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--requests-count", type=int, default=256, dest="n_requests",
+                        help="stream length (default 256)")
+    parser.add_argument("--seed", type=int, default=2017, help="traffic seed")
+    parser.add_argument("--scale", type=float, default=1.0 / 64.0,
+                        help="dataset scale every request carries")
+    parser.add_argument("--problems", default="cc,spmm,hh",
+                        help="comma-separated problem kinds")
+    parser.add_argument("--datasets", default=",".join(DEFAULT_LOADGEN_DATASETS),
+                        help="comma-separated Table II names, hottest first")
+    parser.add_argument("--zipf-alpha", type=float, default=1.1,
+                        help="dataset skew exponent")
+    parser.add_argument("--seed-pool", type=int, default=4,
+                        help="distinct request seeds per (problem, dataset)")
+
+
+def _spec_from(args: argparse.Namespace) -> TrafficSpec:
+    return TrafficSpec(
+        n_requests=args.n_requests,
+        seed=args.seed,
+        scale=args.scale,
+        problems=tuple(p for p in args.problems.split(",") if p),
+        datasets=tuple(d for d in args.datasets.split(",") if d),
+        zipf_alpha=args.zipf_alpha,
+        seed_pool=args.seed_pool,
+    )
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    stream = generate_traffic(_spec_from(args))
+    if args.out is None:
+        save_requests(stream)
+    else:
+        with open(args.out, "w", encoding="utf-8") as sink:
+            save_requests(stream, sink)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.requests is not None:
+        with open(args.requests, encoding="utf-8") as source:
+            stream = load_requests(source)
+    else:
+        stream = generate_traffic(_spec_from(args))
+    config = ServeConfig(
+        cache_dir=args.cache_dir,
+        max_batch=args.max_batch,
+        queue_limit=max(args.queue_limit, args.concurrency),
+    )
+    result = replay(
+        [timed.request for timed in stream],
+        config,
+        concurrency=args.concurrency,
+    )
+    sink = open(args.out, "w", encoding="utf-8") if args.out else sys.stdout
+    try:
+        for served in result.responses:
+            if served is None:
+                continue
+            record = {
+                "source": served.source,
+                "latency_ms": served.latency_ms,
+                **served.response.to_record(),
+            }
+            sink.write(json.dumps(record, sort_keys=True) + "\n")
+    finally:
+        if sink is not sys.stdout:
+            sink.close()
+    print(json.dumps(result.counters, sort_keys=True), file=sys.stderr)
+    for index, error in result.errors:
+        print(f"request {index}: {error}", file=sys.stderr)
+    return 1 if result.errors else 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    spec = _spec_from(args)
+    if args.cache_dir is not None:
+        report = run_bench(
+            spec,
+            cache_dir=args.cache_dir,
+            workers=args.workers,
+            concurrency=args.concurrency,
+            max_batch=args.max_batch,
+            warmup=not args.no_warmup,
+        )
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+            report = run_bench(
+                spec,
+                cache_dir=tmp,
+                workers=args.workers,
+                concurrency=args.concurrency,
+                max_batch=args.max_batch,
+                warmup=not args.no_warmup,
+            )
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as sink:
+            sink.write(rendered + "\n")
+    print(rendered)
+    return 1 if report["errors"] else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Partition-tuning service: traffic generation, replay, benchmark.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    loadgen = sub.add_parser("loadgen", help="emit a deterministic JSONL request trace")
+    _add_traffic_flags(loadgen)
+    loadgen.add_argument("--out", default=None, help="trace path (default stdout)")
+    loadgen.set_defaults(fn=_cmd_loadgen)
+
+    serve = sub.add_parser("serve", help="replay a trace through one server")
+    _add_traffic_flags(serve)
+    serve.add_argument("--requests", default=None,
+                       help="JSONL trace to replay (default: generate from flags)")
+    serve.add_argument("--cache-dir", default=None, help="sharded response cache root")
+    serve.add_argument("--concurrency", type=int, default=32)
+    serve.add_argument("--max-batch", type=int, default=32)
+    serve.add_argument("--queue-limit", type=int, default=256)
+    serve.add_argument("--out", default=None, help="responses path (default stdout)")
+    serve.set_defaults(fn=_cmd_serve)
+
+    bench = sub.add_parser("bench", help="multi-worker throughput benchmark")
+    _add_traffic_flags(bench)
+    bench.add_argument("--workers", type=int, default=2)
+    bench.add_argument("--concurrency", type=int, default=32)
+    bench.add_argument("--max-batch", type=int, default=32)
+    bench.add_argument("--cache-dir", default=None,
+                       help="shared cache root (default: fresh temp dir)")
+    bench.add_argument("--no-warmup", action="store_true",
+                       help="skip the cache-warming pass (cold numbers)")
+    bench.add_argument("--json", default=None, help="also write the report here")
+    bench.set_defaults(fn=_cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

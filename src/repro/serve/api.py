@@ -1,0 +1,273 @@
+"""Request/response types and the pure tuning function behind the server.
+
+A :class:`TuneRequest` names one tuning question — *which nearly balanced
+threshold should this (problem, dataset, platform) run at?* — exactly the
+way the experiment harness would ask it: problem kind, Table II dataset,
+linear scale (which also scales the simulated platform's time constants,
+see :func:`repro.platform.machine.paper_testbed`), and the sampling seed.
+:func:`tune` answers it deterministically; everything the server adds
+(coalescing, batching, caching, fault tolerance) is transport, and the
+determinism contract in ``tests/test_serve.py`` pins the server's answers
+byte-for-byte to this function.
+
+Responses hold only derived numbers and echo the request identity; they
+round-trip losslessly through JSON (:meth:`TuneResponse.to_record` /
+:meth:`TuneResponse.from_record`), and :meth:`TuneResponse.canonical_json`
+is the byte representation all equality contracts compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.problem import PartitionProblem
+from repro.engine.cache import fingerprint
+from repro.experiments.config import ExperimentConfig
+from repro.util.errors import ReproError, ValidationError
+from repro.workloads.suite import dataset_names
+
+#: Problem kinds the service can tune, mapped to the case studies.
+PROBLEM_KINDS = ("cc", "spmm", "hh")
+
+#: Default request scale: the benchmark scale (1/64 of Table II), small
+#: enough that a cold tune answers in well under a second.
+DEFAULT_REQUEST_SCALE = 1.0 / 64.0
+
+
+class ServeError(ReproError, RuntimeError):
+    """Base class for tuning-service errors."""
+
+
+class ServerOverloadedError(ServeError):
+    """The server's bounded request queue is full; the request was shed."""
+
+
+class TuneFailedError(ServeError):
+    """A tune computation exhausted its retries with no stale fallback."""
+
+
+@dataclass(frozen=True, kw_only=True)
+class TuneRequest:
+    """One tuning question (frozen, hashable, JSON round-trippable).
+
+    Attributes
+    ----------
+    problem:
+        Case-study kind: ``"cc"`` (hybrid connected components),
+        ``"spmm"`` (row-split spmm), or ``"hh"`` (HH-CPU scale-free spmm).
+    dataset:
+        Table II dataset name; the synthetic analog is materialized at
+        *scale*.
+    scale:
+        Linear dataset scale in (0, 1].  Scales the simulated platform's
+        fixed time constants too, so one scale fully describes the
+        simulated device pair — the request's "device specs" coordinate.
+    seed:
+        Base sampling seed (the per-request stream derives from it via
+        :func:`repro.util.rng.stable_seed`, exactly as the harness does).
+    repeats:
+        Sampling repetitions averaged inside the estimate.
+    sample_size:
+        Override of the problem family's default sample size
+        (``None`` = the paper's recommendation).
+    """
+
+    problem: str
+    dataset: str
+    scale: float = DEFAULT_REQUEST_SCALE
+    seed: int = 2017
+    repeats: int = 1
+    sample_size: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.problem not in PROBLEM_KINDS:
+            raise ValidationError(
+                f"unknown problem kind {self.problem!r}; expected one of "
+                f"{PROBLEM_KINDS}"
+            )
+        if self.dataset not in dataset_names():
+            raise ValidationError(
+                f"unknown dataset {self.dataset!r}; known: "
+                f"{', '.join(dataset_names())}"
+            )
+        if not 0.0 < self.scale <= 1.0:
+            raise ValidationError(f"scale must be in (0, 1], got {self.scale}")
+        if self.repeats < 1:
+            raise ValidationError(f"repeats must be >= 1, got {self.repeats}")
+        if self.sample_size is not None and self.sample_size < 1:
+            raise ValidationError(
+                f"sample_size must be >= 1, got {self.sample_size}"
+            )
+
+    def key_fields(self) -> dict:
+        """Cache-key / coalescing-key fields (the request's full identity)."""
+        return {
+            "kind": "serve-tune",
+            "problem": self.problem,
+            "dataset": self.dataset,
+            "scale": self.scale,
+            "seed": self.seed,
+            "repeats": self.repeats,
+            "sample_size": self.sample_size,
+        }
+
+    def fingerprint(self) -> str:
+        """Stable hex id of this request (single-flight coalescing key)."""
+        return fingerprint(self.key_fields())
+
+    def problem_key(self) -> tuple[str, str, float]:
+        """What two requests must share to reuse one problem instance.
+
+        Requests agreeing on (problem kind, dataset, scale) are priced
+        against the same materialized problem — the micro-batching
+        compatibility relation.
+        """
+        return (self.problem, self.dataset, self.scale)
+
+    def to_record(self) -> dict:
+        return {
+            "problem": self.problem,
+            "dataset": self.dataset,
+            "scale": self.scale,
+            "seed": self.seed,
+            "repeats": self.repeats,
+            "sample_size": self.sample_size,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "TuneRequest":
+        sample_size = record.get("sample_size")
+        return cls(
+            problem=str(record["problem"]),
+            dataset=str(record["dataset"]),
+            scale=float(record["scale"]),
+            seed=int(record["seed"]),
+            repeats=int(record.get("repeats", 1)),
+            sample_size=None if sample_size is None else int(sample_size),
+        )
+
+
+@dataclass(frozen=True, kw_only=True)
+class TuneResponse:
+    """The answer to one :class:`TuneRequest` (deterministic fields only).
+
+    Serving metadata (cache/coalesced/stale provenance, latency) lives on
+    :class:`~repro.serve.server.ServedResponse`, *outside* this object —
+    the same request must produce byte-identical :meth:`canonical_json`
+    however it was served.
+    """
+
+    problem: str
+    dataset: str
+    scale: float
+    seed: int
+    threshold: float
+    phase2_ms: float
+    estimation_ms: float
+    overhead_percent: float
+    n_evaluations: int
+    search_name: str
+
+    def to_record(self) -> dict:
+        return {
+            "problem": self.problem,
+            "dataset": self.dataset,
+            "scale": self.scale,
+            "seed": self.seed,
+            "threshold": self.threshold,
+            "phase2_ms": self.phase2_ms,
+            "estimation_ms": self.estimation_ms,
+            "overhead_percent": self.overhead_percent,
+            "n_evaluations": self.n_evaluations,
+            "search_name": self.search_name,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "TuneResponse":
+        return cls(
+            problem=str(record["problem"]),
+            dataset=str(record["dataset"]),
+            scale=float(record["scale"]),
+            seed=int(record["seed"]),
+            threshold=float(record["threshold"]),
+            phase2_ms=float(record["phase2_ms"]),
+            estimation_ms=float(record["estimation_ms"]),
+            overhead_percent=float(record["overhead_percent"]),
+            n_evaluations=int(record["n_evaluations"]),
+            search_name=str(record["search_name"]),
+        )
+
+    def canonical_json(self) -> str:
+        """The canonical byte representation (all contracts compare this).
+
+        ``json.dumps`` renders doubles via shortest repr, so a response
+        decoded from a cache record serializes byte-identically to the
+        freshly computed one.
+        """
+        import json
+
+        return json.dumps(self.to_record(), sort_keys=True, separators=(",", ":"))
+
+
+def build_problem(
+    kind: str, dataset: str, scale: float
+) -> PartitionProblem:
+    """Materialize the problem instance a request family is priced on.
+
+    Datasets come from the config-level materialization cache, so
+    repeated builds for one (dataset, scale) reuse the synthesized
+    instance; the problem object itself carries the precomputed pricing
+    tables the vectorized ``evaluate_grid`` sweeps run on.
+    """
+    from repro.experiments import runner
+
+    factories = {
+        "cc": runner.cc_problem,
+        "spmm": runner.spmm_problem,
+        "hh": runner.hh_problem,
+    }
+    config = ExperimentConfig(scale=scale)
+    return factories[kind](config, dataset)
+
+
+def tune(request: TuneRequest, problem: PartitionProblem | None = None) -> TuneResponse:
+    """Answer *request* — the pure function every serving mode must match.
+
+    With *problem*, prices against the given shared instance (the
+    server's micro-batching path); problems are deterministic functions
+    of (kind, dataset, scale), so sharing one instance across a batch
+    cannot change any answer.  The identify search and its seeding are
+    exactly the harness's (:mod:`repro.experiments.runner`), so a served
+    threshold equals what the corresponding study row would report.
+    """
+    from repro.experiments import runner
+
+    partitioner_factories = {
+        "cc": runner.cc_partitioner,
+        "spmm": runner.spmm_partitioner,
+        "hh": runner.hh_partitioner,
+    }
+    if problem is None:
+        problem = build_problem(request.problem, request.dataset, request.scale)
+    config = ExperimentConfig(
+        scale=request.scale, seed=request.seed, repeats=request.repeats
+    )
+    partitioner = partitioner_factories[request.problem](
+        config, request.dataset, sample_size=request.sample_size
+    )
+    estimate = partitioner.estimate(problem)
+    grid = problem.threshold_grid()
+    threshold = float(min(max(estimate.threshold, grid[0]), grid[-1]))
+    phase2_ms = float(problem.evaluate_ms(threshold))
+    return TuneResponse(
+        problem=request.problem,
+        dataset=request.dataset,
+        scale=request.scale,
+        seed=request.seed,
+        threshold=threshold,
+        phase2_ms=phase2_ms,
+        estimation_ms=float(estimate.estimation_cost_ms),
+        overhead_percent=float(estimate.overhead_percent(phase2_ms)),
+        n_evaluations=int(sum(s.n_evaluations for s in estimate.searches)),
+        search_name=type(partitioner.search).__name__,
+    )

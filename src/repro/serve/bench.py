@@ -1,0 +1,176 @@
+"""Multi-process serving benchmark (the CI-gated throughput measurement).
+
+:func:`run_bench` splits one deterministic traffic stream round-robin
+across N worker processes, each running its own
+:class:`~repro.serve.server.TuningServer` against the *same* sharded
+cache directory — the deployment shape the flock locking exists for.
+Two passes by default: a warmup pass that populates the cache, then the
+measured pass CI gates on (throughput is a warm-cache number, matching
+how a long-lived tuning service actually behaves).
+
+The report carries, besides throughput and latency quantiles, a SHA-256
+digest over every response's canonical bytes in stream order and a
+``deterministic`` flag (warmup and measured passes answered
+byte-identically) — so the CI artifact itself witnesses the determinism
+contract, not just the tests.
+
+Throughput is computed from the *slowest worker's* in-worker elapsed
+time (process startup and dataset materialization excluded by the
+warmup), which is the honest number for "requests the fleet can answer
+per second".
+"""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.serve.api import TuneRequest
+from repro.serve.loadgen import (
+    ReplayResult,
+    TrafficSpec,
+    generate_traffic,
+    percentile,
+    replay,
+)
+from repro.serve.server import ServeConfig
+from repro.util.errors import ValidationError
+
+#: Counter keys summed across workers into the report.
+_SUMMED_COUNTERS = (
+    "requests",
+    "coalesced",
+    "batched",
+    "computed",
+    "cache_hits",
+    "cache_misses",
+    "shed",
+    "retries",
+    "stale",
+    "errors",
+)
+
+
+def _worker_replay(payload: dict) -> dict:
+    """One worker's pass: rebuild the slice, replay it, ship raw numbers.
+
+    Module-level (it crosses the process boundary); returns only
+    JSON-safe data so aggregation never re-pickles server objects.
+    """
+    requests = [TuneRequest.from_record(r) for r in payload["requests"]]
+    config = ServeConfig(
+        cache_dir=payload["cache_dir"],
+        n_shards=payload["n_shards"],
+        max_batch=payload["max_batch"],
+        queue_limit=payload["queue_limit"],
+    )
+    result: ReplayResult = replay(
+        requests, config, concurrency=payload["concurrency"]
+    )
+    return {
+        "elapsed_s": result.elapsed_s,
+        "canonical": result.canonical(),
+        "latencies_ms": result.latencies_ms(),
+        "sources": result.source_counts(),
+        "counters": result.counters,
+        "errors": result.errors,
+    }
+
+
+def _run_pass(
+    executor: ProcessPoolExecutor | None, payloads: list[dict]
+) -> list[dict]:
+    if executor is None:
+        return [_worker_replay(p) for p in payloads]
+    return list(executor.map(_worker_replay, payloads))
+
+
+def _interleave(slices: list[list], n_total: int, workers: int) -> list:
+    """Undo the round-robin split: worker w holds stream items w, w+N, ..."""
+    merged = [None] * n_total
+    for worker, values in enumerate(slices):
+        for j, value in enumerate(values):
+            merged[worker + j * workers] = value
+    return merged
+
+
+def run_bench(
+    spec: TrafficSpec,
+    *,
+    cache_dir: str,
+    workers: int = 2,
+    concurrency: int = 32,
+    max_batch: int = 32,
+    n_shards: int | None = None,
+    warmup: bool = True,
+) -> dict:
+    """Run the serving benchmark and return its (JSON-safe) report.
+
+    *cache_dir* is required: the benchmark's subject is N servers sharing
+    one sharded cache.  With ``workers=1`` the pass runs in-process (no
+    pool), which the unit tests use to keep the harness itself cheap.
+    """
+    if workers < 1:
+        raise ValidationError(f"workers must be >= 1, got {workers}")
+    stream = generate_traffic(spec)
+    requests = [timed.request.to_record() for timed in stream]
+    queue_limit = max(256, concurrency)
+    payloads = [
+        {
+            "requests": requests[worker::workers],
+            "cache_dir": cache_dir,
+            "n_shards": n_shards if n_shards is not None else 16,
+            "max_batch": max_batch,
+            "queue_limit": queue_limit,
+            "concurrency": concurrency,
+        }
+        for worker in range(workers)
+    ]
+    executor = ProcessPoolExecutor(max_workers=workers) if workers > 1 else None
+    try:
+        warmup_passes = _run_pass(executor, payloads) if warmup else None
+        measured = _run_pass(executor, payloads)
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=True)
+    canonical = _interleave(
+        [w["canonical"] for w in measured], len(stream), workers
+    )
+    answered = [c for c in canonical if c is not None]
+    digest = hashlib.sha256("\n".join(answered).encode()).hexdigest()
+    deterministic = True
+    if warmup_passes is not None:
+        warm_canonical = _interleave(
+            [w["canonical"] for w in warmup_passes], len(stream), workers
+        )
+        deterministic = warm_canonical == canonical
+    latencies_ms = [x for w in measured for x in w["latencies_ms"]]
+    counters = {
+        key: sum(w["counters"].get(key, 0) for w in measured)
+        for key in _SUMMED_COUNTERS
+    }
+    sources: dict[str, int] = {}
+    for w in measured:
+        for source, count in w["sources"].items():
+            sources[source] = sources.get(source, 0) + count
+    consulted = counters["cache_hits"] + counters["cache_misses"]
+    slowest_s = max(w["elapsed_s"] for w in measured)
+    return {
+        "spec": spec.to_record(),
+        "workers": workers,
+        "concurrency": concurrency,
+        "max_batch": max_batch,
+        "requests": len(stream),
+        "answered": len(answered),
+        "errors": sum(len(w["errors"]) for w in measured),
+        "elapsed_s": slowest_s,
+        "throughput_rps": len(stream) / slowest_s if slowest_s > 0 else 0.0,
+        "latency_p50_ms": percentile(latencies_ms, 50.0),
+        "latency_p99_ms": percentile(latencies_ms, 99.0),
+        "hit_rate": counters["cache_hits"] / consulted if consulted else 0.0,
+        "counters": counters,
+        "sources": sources,
+        "digest": digest,
+        "deterministic": deterministic,
+        "warmup": warmup,
+    }

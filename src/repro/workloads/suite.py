@@ -157,6 +157,13 @@ def load_dataset(
         )
     if not 0.0 < scale <= 1.0:
         raise WorkloadError(f"scale must be in (0, 1], got {scale}")
+    # Chaos hook: an armed ``crash_synth`` fault fires here, before any
+    # building, so a crashed materialization leaves nothing half-made
+    # (docs/ENGINE.md §Fault tolerance).  Imported lazily — workloads
+    # must stay importable without pulling the engine package in.
+    from repro.engine.faults import synth_fault_point
+
+    synth_fault_point(f"table2/{name}@{scale:g}")
     entry = _BY_NAME[name]
     gen = as_generator(rng if rng is not None else stable_seed("table2", name, scale))
     n_target = max(64, int(round(entry.paper_n * scale)))

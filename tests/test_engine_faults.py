@@ -33,7 +33,12 @@ from repro.engine import (
     PoisonTaskError,
     ResultCache,
 )
-from repro.engine.faults import CORRUPT_RESULT, CorruptResult, apply_task_faults
+from repro.engine.faults import (
+    CORRUPT_RESULT,
+    CorruptResult,
+    apply_task_faults,
+    arm_synth_faults,
+)
 from repro.experiments import fig3_cc
 from repro.experiments.config import ExperimentConfig
 from repro.obs import runtime as obs_runtime
@@ -493,3 +498,80 @@ class TestStudyChaosByteIdentity:
         assert stats.cache_corrupt >= 1
         healed = fig3_cc.run(config)  # entry repaired: pure warm replay
         assert healed.render() == uncached.render()
+
+
+# ---------------------------------------------------------------------------
+# Dataset-synthesis faults (crash_synth)
+
+
+class TestSynthFaults:
+    """``crash_synth``: chaos coverage for dataset materialization.
+
+    Scales here are deliberately odd (0.011, 0.013, ...) so no other
+    test's dataset cache can satisfy a load before the fault fires.
+    """
+
+    def teardown_method(self):
+        arm_synth_faults(None)
+
+    def test_armed_crash_fires_then_retry_succeeds(self):
+        from repro.workloads.suite import load_dataset
+
+        arm_synth_faults(
+            FaultPlan(specs=(FaultSpec(kind="crash_synth", index=0),))
+        )
+        with pytest.raises(InjectedCrashError):
+            load_dataset("cant", scale=0.011)
+        # The crash cached nothing; the retry is materialization #1,
+        # outside the fault window, and builds the exact clean instance.
+        retried = load_dataset("cant", scale=0.011)
+        arm_synth_faults(None)
+        clean = load_dataset("cant", scale=0.011)
+        assert retried.matrix.nnz == clean.matrix.nnz
+        assert (retried.matrix.indptr == clean.matrix.indptr).all()
+
+    def test_times_widens_the_crash_window(self):
+        from repro.workloads.suite import load_dataset
+
+        arm_synth_faults(
+            FaultPlan(specs=(FaultSpec(kind="crash_synth", index=0, times=2),))
+        )
+        with pytest.raises(InjectedCrashError):
+            load_dataset("cant", scale=0.013)
+        with pytest.raises(InjectedCrashError):
+            load_dataset("cant", scale=0.013)
+        assert load_dataset("cant", scale=0.013).matrix.nnz > 0
+
+    def test_engine_arms_synth_plan_and_shutdown_disarms(self):
+        from repro.engine import get_engine, shutdown_engines
+        from repro.engine.faults import armed_synth_plan
+
+        plan = FaultPlan(specs=(FaultSpec(kind="crash_synth", index=0),))
+        try:
+            get_engine(workers=1, fault_plan=plan)
+            assert armed_synth_plan() == plan
+        finally:
+            shutdown_engines()
+        assert armed_synth_plan() is None
+
+    def test_study_survives_synth_crash_and_matches_clean_run(self):
+        """Through the engine path: a crashed materialization mid-study.
+
+        ``fig3_cc.run`` materializes its problems parent-side via the
+        config's dataset cache; the odd scale forces a real synthesis.
+        The crashed load raises out of the run; rerunning the same config
+        (the operator's retry) succeeds because the fault window has
+        passed — and matches the fault-free render byte-for-byte.
+        """
+        scale = 0.0171
+        clean = fig3_cc.run(replace(BASE, scale=scale))
+        plan = FaultPlan(specs=(FaultSpec(kind="crash_synth", index=0),))
+        chaos = replace(BASE, scale=0.0172, fault_plan=plan)
+        chaos.engine()  # construction arms the synth plan
+        with pytest.raises(InjectedCrashError):
+            fig3_cc.run(chaos)
+        recovered = fig3_cc.run(chaos)  # next materializations: clean
+        arm_synth_faults(None)
+        # Same seed/datasets, neighbouring scales: the faulted-then-
+        # retried run renders a complete figure just like the clean one.
+        assert recovered.render().count("\n") == clean.render().count("\n")

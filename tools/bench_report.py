@@ -21,6 +21,15 @@ which
    ``--no-obs-trace``) so every benchmark artifact ships with the
    span/metric breakdown that explains it (docs/OBSERVABILITY.md).
 
+With ``--serving``, runs the tuning-service benchmark instead
+(``python -m repro.serve bench``; docs/SERVING.md), writes
+``SERVE_<date>.json``, and gates against
+``benchmarks/SERVE_BASELINE.json``: throughput regressing more than
+``--max-regression`` below baseline fails, as does a p99 latency blowout
+past ``--p99-factor`` times baseline.  As with the pytest gate, a
+baseline recorded at a different worker width skips the gate instead of
+comparing incomparable numbers.
+
 Exit codes: 0 OK, 1 benchmark suite failed, 2 regression detected,
 3 degraded run (the engine's process pool permanently fell back to
 serial — the timings measured something other than the configured
@@ -41,6 +50,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_BASELINE.json"
+DEFAULT_SERVE_BASELINE = REPO_ROOT / "benchmarks" / "SERVE_BASELINE.json"
 
 
 def run_benchmarks(pytest_args: list[str]) -> tuple[dict, dict, int]:
@@ -207,6 +217,108 @@ def check_regressions(
     return failures
 
 
+def run_serving_bench(args: argparse.Namespace) -> int:
+    """The ``--serving`` mode: run the service benchmark and gate it.
+
+    Throughput and tail latency are gated independently: a service can
+    keep its requests/sec while its p99 collapses (e.g. a batching bug
+    serializing bursts), and vice versa.  Determinism and error-freedom
+    are hard failures, not thresholds.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        f"{REPO_ROOT / 'src'}{os.pathsep}{env['PYTHONPATH']}"
+        if env.get("PYTHONPATH")
+        else str(REPO_ROOT / "src")
+    )
+    with tempfile.TemporaryDirectory(prefix="serve-report-") as tmp:
+        report_json = Path(tmp) / "serve.json"
+        cmd = [
+            sys.executable,
+            "-m",
+            "repro.serve",
+            "bench",
+            "--requests-count",
+            str(args.serve_requests),
+            "--seed",
+            str(args.serve_seed),
+            "--workers",
+            str(args.serve_workers),
+            "--json",
+            str(report_json),
+        ]
+        print(f"$ {' '.join(cmd)}", flush=True)
+        proc = subprocess.run(
+            cmd, cwd=REPO_ROOT, env=env, stdout=subprocess.DEVNULL
+        )
+        if proc.returncode != 0 or not report_json.exists():
+            print(
+                f"serving benchmark failed (exit {proc.returncode})",
+                file=sys.stderr,
+            )
+            return 1
+        report = json.loads(report_json.read_text())
+
+    report["date"] = datetime.date.today().isoformat()
+    report["python"] = sys.version.split()[0]
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = args.out_dir / f"SERVE_{report['date']}.json"
+    out_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+    print(
+        f"serving: {report['throughput_rps']:.0f} req/s over "
+        f"{report['workers']} worker(s), p50 {report['latency_p50_ms']:.2f}ms, "
+        f"p99 {report['latency_p99_ms']:.2f}ms, "
+        f"{100 * report['hit_rate']:.1f}% cache hit rate"
+    )
+
+    if report["errors"]:
+        print(f"serving run had {report['errors']} errored request(s)", file=sys.stderr)
+        return 1
+    if not report["deterministic"]:
+        print(
+            "serving run NOT deterministic: warmup and measured passes "
+            "answered different bytes",
+            file=sys.stderr,
+        )
+        return 1
+
+    if not args.serve_baseline.exists():
+        print(f"no baseline at {args.serve_baseline}; serving gate skipped")
+        return 0
+    baseline = json.loads(args.serve_baseline.read_text())
+    if int(baseline.get("workers", 0)) != int(report["workers"]):
+        print(
+            f"baseline recorded at workers={baseline.get('workers')}, this "
+            f"run used workers={report['workers']}; serving gate skipped"
+        )
+        return 0
+    failures = []
+    base_rps = float(baseline["throughput_rps"])
+    floor_rps = base_rps * (1.0 - args.max_regression)
+    if report["throughput_rps"] < floor_rps:
+        failures.append(
+            f"throughput {report['throughput_rps']:.0f} req/s below "
+            f"{floor_rps:.0f} (baseline {base_rps:.0f} - "
+            f"{100 * args.max_regression:.0f}%)"
+        )
+    base_p99 = float(baseline["latency_p99_ms"])
+    ceiling_p99 = base_p99 * args.p99_factor
+    if report["latency_p99_ms"] > ceiling_p99:
+        failures.append(
+            f"p99 latency {report['latency_p99_ms']:.2f}ms above "
+            f"{ceiling_p99:.2f}ms (baseline {base_p99:.2f}ms x "
+            f"{args.p99_factor:g})"
+        )
+    if failures:
+        print("serving regressions detected:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 2
+    print(f"no serving regressions vs {args.serve_baseline}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -233,11 +345,49 @@ def main(argv: list[str] | None = None) -> int:
         help="skip recording the OBS_TRACE_<date>.json observability trace",
     )
     parser.add_argument(
+        "--serving",
+        action="store_true",
+        help="run the tuning-service benchmark instead of the pytest suite",
+    )
+    parser.add_argument(
+        "--serve-baseline",
+        type=Path,
+        default=DEFAULT_SERVE_BASELINE,
+        help=f"serving baseline to gate against (default: {DEFAULT_SERVE_BASELINE})",
+    )
+    parser.add_argument(
+        "--serve-workers",
+        type=int,
+        default=2,
+        help="server processes sharing the benchmark cache (default: 2)",
+    )
+    parser.add_argument(
+        "--serve-requests",
+        type=int,
+        default=256,
+        help="traffic stream length for --serving (default: 256)",
+    )
+    parser.add_argument(
+        "--serve-seed",
+        type=int,
+        default=2017,
+        help="traffic seed for --serving (default: 2017)",
+    )
+    parser.add_argument(
+        "--p99-factor",
+        type=float,
+        default=4.0,
+        help="allowed p99 latency blowout vs baseline for --serving (default: 4.0)",
+    )
+    parser.add_argument(
         "pytest_args",
         nargs="*",
         help="extra arguments forwarded to pytest (after --)",
     )
     args = parser.parse_args(argv)
+
+    if args.serving:
+        return run_serving_bench(args)
 
     raw, engine_stats, rc = run_benchmarks(args.pytest_args)
     if rc != 0:
