@@ -13,7 +13,13 @@ extension end to end on a road-network analog:
 Run: ``python examples/multiway_partitioning.py``
 """
 
-from repro import CcProblem, exhaustive_oracle, load_dataset, paper_testbed
+from repro import (
+    CcProblem,
+    ClusterSpec,
+    exhaustive_oracle,
+    load_dataset,
+    paper_testbed,
+)
 from repro.graphs.components import components_union_find, count_components
 from repro.hetero import MultiwayCcProblem, coordinate_descent
 from repro.obs import render_gantt
@@ -33,7 +39,8 @@ def main() -> None:
         f"-> {single.best_time_ms:.3f} ms"
     )
 
-    problem = MultiwayCcProblem(graph, machine, n_gpus=2, name=dataset.name)
+    cluster = ClusterSpec.from_machine(machine, n_gpus=2)
+    problem = MultiwayCcProblem(graph, cluster, name=dataset.name)
     print(f"naive static vector (peak FLOPS): {problem.naive_static_thresholds()}")
 
     best_vec, best_ms, evals = coordinate_descent(problem)

@@ -30,7 +30,8 @@ Subpackages
     The paper's contribution: the sampling partitioner, identify searches,
     extrapolation laws, baselines, and the exhaustive oracle.
 ``repro.platform``
-    The simulated CPU+GPU+PCIe testbed and its kernel cost models.
+    The simulated CPU+GPU+PCIe testbed and its kernel cost models, plus
+    :class:`ClusterSpec` for N-device clusters (see docs/CLUSTER.md).
 ``repro.sparse`` / ``repro.graphs``
     From-scratch CSR matrix and graph substrates.
 ``repro.hetero``
@@ -87,18 +88,29 @@ from repro.obs import (
     get_tracer,
     validate_timeline,
 )
+from repro.core.cut_vector import (
+    ClusterTuneResult,
+    CutVectorResult,
+    cluster_oracle,
+    tune_cluster,
+)
 from repro.hetero import (
     CcProblem,
     SpmmProblem,
     HhCpuProblem,
     DenseMmProblem,
+    MultiwayCcProblem,
+    MultiwaySpmmProblem,
 )
 from repro.platform import (
     HeterogeneousMachine,
+    ClusterSpec,
+    Interconnect,
     DeviceSpec,
     PcieLink,
     Timeline,
     paper_testbed,
+    cluster_testbed,
 )
 from repro.workloads import (
     Dataset,
@@ -160,11 +172,21 @@ __all__ = [
     "SpmmProblem",
     "HhCpuProblem",
     "DenseMmProblem",
+    "MultiwayCcProblem",
+    "MultiwaySpmmProblem",
     "HeterogeneousMachine",
+    "ClusterSpec",
+    "Interconnect",
     "DeviceSpec",
     "PcieLink",
     "Timeline",
     "paper_testbed",
+    "cluster_testbed",
+    # cluster tuning (repro.core.cut_vector)
+    "CutVectorResult",
+    "ClusterTuneResult",
+    "cluster_oracle",
+    "tune_cluster",
     "Dataset",
     "load_dataset",
     "load_suite",

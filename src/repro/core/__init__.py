@@ -20,6 +20,14 @@ NaiveAverage, GPU-only, the exhaustive oracle) live in
 """
 
 from repro.core.problem import PartitionProblem, evaluate_grid, has_batch_pricing
+from repro.core.cut_vector import (
+    ClusterTuneResult,
+    CutVectorResult,
+    cluster_oracle,
+    coordinate_descent,
+    cut_vector_lattice,
+    tune_cluster,
+)
 from repro.core.search import (
     SearchStrategy,
     SearchResult,
@@ -50,6 +58,12 @@ __all__ = [
     "PartitionProblem",
     "evaluate_grid",
     "has_batch_pricing",
+    "CutVectorResult",
+    "ClusterTuneResult",
+    "coordinate_descent",
+    "cluster_oracle",
+    "cut_vector_lattice",
+    "tune_cluster",
     "SearchStrategy",
     "SearchResult",
     "ExhaustiveSearch",

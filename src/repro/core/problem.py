@@ -99,8 +99,27 @@ def evaluate_grid(problem: PartitionProblem, grid: np.ndarray) -> np.ndarray:
     ``evaluate_many`` hook price the whole grid in one vectorized pass;
     everything else falls back to one ``evaluate_ms`` call per point —
     identical semantics, scalar speed.
+
+    A 2-D *grid* is a batch of threshold *vectors* — one row per candidate
+    cut vector of a multi-device problem (``repro.hetero.multiway_*``) —
+    and prices to one makespan per row.  The scalar problems' 1-D contract
+    is unchanged.
     """
     grid = np.asarray(grid, dtype=np.float64)
+    if grid.ndim == 2:
+        expected = (grid.shape[0],)
+        if has_batch_pricing(problem):
+            ms = np.asarray(problem.evaluate_many(grid), dtype=np.float64)
+            if ms.shape != expected:
+                raise ValueError(
+                    f"evaluate_many returned shape {ms.shape} for vector "
+                    f"batch {grid.shape} on problem {problem.name!r}"
+                )
+            return ms
+        return np.array(
+            [problem.evaluate_ms([float(x) for x in row]) for row in grid],  # reprolint: disable=PERF001 -- the scalar fallback *is* the loop
+            dtype=np.float64,
+        )
     if has_batch_pricing(problem):
         ms = np.asarray(problem.evaluate_many(grid), dtype=np.float64)
         if ms.shape != grid.shape:

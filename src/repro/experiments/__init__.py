@@ -26,6 +26,7 @@ from repro.experiments import (
     ablation_dynamic,
     ablation_hh_sampling,
     ablation_spmm_sampling,
+    ext_cluster,
     ext_multiway,
     fig1_dense,
     fig3_cc,
@@ -58,6 +59,7 @@ REGISTRY = {
     "ablation-dynamic": ablation_dynamic.run,
     "ablation-spmm-sampling": ablation_spmm_sampling.run,
     "ext-multiway": ext_multiway.run,
+    "ext-cluster": ext_cluster.run,
 }
 
 __all__ = ["ExperimentConfig", "ExperimentReport", "REGISTRY"]

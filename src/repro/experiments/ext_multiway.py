@@ -24,6 +24,7 @@ from repro.hetero.cc import CcProblem
 from repro.hetero.multiway_cc import MultiwayCcProblem, coordinate_descent
 from repro.hetero.multiway_spmm import MultiwaySpmmProblem
 from repro.hetero.spmm import SpmmProblem
+from repro.platform.cluster import ClusterSpec
 from repro.util.rng import stable_seed
 
 DEFAULT_DATASETS = ["delaunay_n22", "germany_osm", "pwtk", "webbase-1M"]
@@ -40,7 +41,8 @@ def run(config: ExperimentConfig | None = None) -> ExperimentReport:
         dataset = config.dataset(name)
         graph = dataset.as_graph()
         machine = config.machine()
-        problem = MultiwayCcProblem(graph, machine, n_gpus=N_GPUS, name=name)
+        cluster = ClusterSpec.from_machine(machine, n_gpus=N_GPUS)
+        problem = MultiwayCcProblem(graph, cluster, name=name)
 
         best_vec, best_ms, _ = coordinate_descent(problem)
         sub = problem.sample(
@@ -82,7 +84,8 @@ def run(config: ExperimentConfig | None = None) -> ExperimentReport:
     for name in spmm_names:
         dataset = config.dataset(name)
         machine = config.machine()
-        problem = MultiwaySpmmProblem(dataset.matrix, machine, n_gpus=N_GPUS, name=name)
+        cluster = ClusterSpec.from_machine(machine, n_gpus=N_GPUS)
+        problem = MultiwaySpmmProblem(dataset.matrix, cluster, name=name)
         best_vec, best_ms, _ = coordinate_descent(problem)
         sub = problem.sample(
             problem.default_sample_size(),

@@ -14,6 +14,9 @@ so results are verifiable while the clock stays modeled:
   (Section V); threshold = row-density cutoff in nonzeros.
 * :mod:`repro.hetero.dense_mm` — the Figure-1 contrast case, heterogeneous
   dense matrix multiplication; threshold = CPU work share in percent.
+* :mod:`repro.hetero.multiway_cc` / :mod:`repro.hetero.multiway_spmm` —
+  the N-device cluster generalizations; the partition point becomes a
+  non-decreasing *cut vector* over a :class:`~repro.platform.ClusterSpec`.
 """
 
 from repro.hetero.cc import CcProblem, CcRunResult

@@ -57,6 +57,7 @@ from repro.platform.costmodel import (
     PricingTables,
     effective_rate_per_ms,
 )
+from repro.platform.cluster import ClusterSpec, coerce_machine
 from repro.platform.machine import HeterogeneousMachine
 from repro.platform.timeline import Timeline
 from repro.util.errors import ValidationError
@@ -136,7 +137,7 @@ class CcProblem:
     def __init__(
         self,
         graph: Graph,
-        machine: HeterogeneousMachine,
+        machine: "HeterogeneousMachine | ClusterSpec",
         name: str = "cc",
         vertex_weights: np.ndarray | None = None,
         work_scale: float = 1.0,
@@ -151,7 +152,8 @@ class CcProblem:
                 f"unknown sampling_method {sampling_method!r}"
             )
         self.graph = graph
-        self.machine = machine
+        # A 2-device ClusterSpec works anywhere the legacy machine does.
+        self.machine = coerce_machine(machine)
         self.name = name
         self.work_scale = float(work_scale)
         self.sampling_method = sampling_method

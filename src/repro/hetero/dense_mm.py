@@ -22,6 +22,7 @@ from repro.platform.costmodel import (
     dense_mm_time,
     effective_rate_per_ms,
 )
+from repro.platform.cluster import ClusterSpec, coerce_machine
 from repro.platform.machine import HeterogeneousMachine
 from repro.platform.timeline import Timeline
 from repro.util.errors import ValidationError
@@ -54,12 +55,13 @@ class DenseMmProblem:
     """
 
     def __init__(
-        self, n: int, machine: HeterogeneousMachine, name: str | None = None
+        self, n: int, machine: "HeterogeneousMachine | ClusterSpec", name: str | None = None
     ) -> None:
         if n < 0:
             raise ValidationError("n must be non-negative")
         self.n = n
-        self.machine = machine
+        # A 2-device ClusterSpec works anywhere the legacy machine does.
+        self.machine = coerce_machine(machine)
         self.name = name or f"mat.{n}"
 
     # -- PartitionProblem protocol --------------------------------------------------

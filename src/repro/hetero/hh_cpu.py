@@ -41,6 +41,7 @@ from repro.platform.costmodel import (
     KernelProfile,
     effective_rate_per_ms,
 )
+from repro.platform.cluster import ClusterSpec, coerce_machine
 from repro.platform.machine import HeterogeneousMachine
 from repro.platform.timeline import Timeline
 from repro.sparse.csr import CsrMatrix
@@ -110,7 +111,7 @@ class HhCpuProblem:
     def __init__(
         self,
         a: CsrMatrix,
-        machine: HeterogeneousMachine,
+        machine: "HeterogeneousMachine | ClusterSpec",
         name: str = "hh-cpu",
         work_scale: float = 1.0,
         b_density: np.ndarray | None = None,
@@ -128,7 +129,8 @@ class HhCpuProblem:
         if sampling_method not in ("rows", "importance", "fold", "thin"):
             raise ValidationError(f"unknown sampling_method {sampling_method!r}")
         self.a = a
-        self.machine = machine
+        # A 2-device ClusterSpec works anywhere the legacy machine does.
+        self.machine = coerce_machine(machine)
         self.name = name
         self.sampling_method = sampling_method
         # The SpGEMM kernel profile; injectable for calibrated machines.

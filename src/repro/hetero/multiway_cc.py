@@ -1,21 +1,30 @@
-"""Multi-device extension: hybrid CC on one CPU plus several GPUs.
+"""Multi-device extension: hybrid CC on one CPU plus ``p - 1`` accelerators.
 
 The paper claims its technique "can be extended easily to other
 heterogeneous computing platforms ... the values of the threshold(s) now
 can be treated as a vector, unlike a scalar in the simple CPU+GPU case"
 (Section II) but never builds that case.  This module does: Algorithm 1
-generalized to ``1 + n_gpus`` devices, with the vertex axis cut into
-``n_gpus + 1`` contiguous ranges by a *threshold vector* of cumulative
-percentages.
+generalized to a :class:`~repro.platform.cluster.ClusterSpec` of ``p``
+heterogeneous devices, with the vertex axis cut into ``p`` contiguous
+ranges by a *threshold vector* of cumulative percentages.
 
-* Threshold vector ``(c_1, …, c_g)`` with ``0 <= c_1 <= … <= c_g <= 100``:
-  the CPU owns vertices below ``c_1`` percent, GPU ``i`` owns the range
-  ``[c_i, c_{i+1})`` (the last GPU up to 100).
-* Phase II runs all devices overlapped; a merge pass on GPU 1 joins the
-  per-range labelings over every cross-range edge.
-* Identify uses cyclic coordinate descent: each coordinate is a 1-D search
-  with the others held fixed, repeated until no coordinate moves — the
-  natural vector generalization of the paper's 1-D searches.
+* Threshold vector ``(c_1, …, c_{p-1})`` with ``0 <= c_1 <= … <= 100``:
+  the CPU owns vertices below ``c_1`` percent, accelerator ``i`` owns the
+  range ``[c_i, c_{i+1})`` (the last one up to 100).  Each range prices on
+  its *own* device spec, so unequal accelerators pull the optimum away
+  from equal shares.
+* Phase II runs all devices overlapped; a merge pass on the fastest
+  accelerator joins the per-range labelings over every cross-range edge,
+  after the foreign labels ship over that device's interconnect link.
+* Identify uses cyclic coordinate descent
+  (:func:`repro.core.cut_vector.coordinate_descent`): each coordinate is a
+  1-D search with the others held fixed, repeated until no coordinate
+  moves — the natural vector generalization of the paper's 1-D searches.
+
+The pre-cluster constructor shape — a 2-device
+:class:`~repro.platform.machine.HeterogeneousMachine` plus an ``n_gpus``
+copy count — still works as a deprecated shim and prices bit-identically
+to the equivalent :meth:`ClusterSpec.from_machine` cluster.
 
 Pricing needs "edges within [a, b)" for arbitrary percent ranges; a
 :class:`RangeCutProfile` precomputes a 2-D dominance count over the
@@ -25,6 +34,7 @@ Pricing needs "edges within [a, b)" for arbitrary percent ranges; a
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -43,6 +53,7 @@ from repro.hetero.cc import (
     PROFILE_EDGE_SCAN,
     modeled_merge_iterations,
 )
+from repro.platform.cluster import ClusterSpec
 from repro.platform.costmodel import (
     PROFILE_CC,
     PROFILE_MERGE,
@@ -52,6 +63,52 @@ from repro.platform.machine import HeterogeneousMachine
 from repro.platform.timeline import Timeline
 from repro.util.errors import ValidationError
 from repro.util.rng import RngLike, as_generator
+
+#: Accelerator count the deprecated machine+``n_gpus`` constructor shape
+#: defaulted to before clusters existed.
+_LEGACY_DEFAULT_GPUS = 2
+
+
+def _coerce_problem_cluster(
+    cluster: HeterogeneousMachine | ClusterSpec,
+    n_gpus: int | None,
+    class_name: str,
+) -> ClusterSpec:
+    """Shared constructor shim for the multiway problems.
+
+    A :class:`ClusterSpec` passes through (``n_gpus`` must then be absent
+    or agree with its shape); the legacy machine+``n_gpus`` form widens
+    via :meth:`ClusterSpec.from_machine` under a :class:`DeprecationWarning`
+    — same spec objects, so pricing stays bit-identical.
+    """
+    if isinstance(cluster, ClusterSpec):
+        if n_gpus is not None and n_gpus != cluster.n_devices - 1:
+            raise ValidationError(
+                f"n_gpus={n_gpus} conflicts with cluster "
+                f"{cluster.name!r} of {cluster.n_devices - 1} accelerators"
+            )
+    elif isinstance(cluster, HeterogeneousMachine):
+        warnings.warn(
+            f"constructing {class_name} from a HeterogeneousMachine "
+            "(+ n_gpus) is deprecated; pass a repro.platform.ClusterSpec "
+            "(ClusterSpec.from_machine widens a 2-device machine)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        cluster = ClusterSpec.from_machine(
+            cluster, n_gpus=_LEGACY_DEFAULT_GPUS if n_gpus is None else n_gpus
+        )
+    else:
+        raise ValidationError(
+            f"expected ClusterSpec or HeterogeneousMachine, got "
+            f"{type(cluster).__name__}"
+        )
+    for d in cluster.accelerators:
+        if d.kind != "gpu":
+            raise ValidationError(
+                f"{class_name} accelerators must be GPUs, got {d.kind!r}"
+            )
+    return cluster
 
 _INDEX = np.int64
 _BYTES_PER_VERTEX = 8
@@ -155,28 +212,29 @@ class MultiwayCcRunResult:
 
 
 class MultiwayCcProblem:
-    """Connected components on one CPU plus *n_gpus* identical GPUs.
+    """Connected components across the devices of a :class:`ClusterSpec`.
 
-    The GPU spec is taken from *machine*; every GPU is one more copy of it
-    (the common multi-accelerator node shape).
+    Device 0 (the host CPU) runs the DFS-style range; every accelerator
+    runs Shiloach-Vishkin on its own range, priced on its *own* spec.  The
+    deprecated 2-device form — a :class:`HeterogeneousMachine` plus an
+    ``n_gpus`` copy count — still works and prices bit-identically.
     """
 
     def __init__(
         self,
         graph: Graph,
-        machine: HeterogeneousMachine,
-        n_gpus: int = 2,
+        cluster: HeterogeneousMachine | ClusterSpec,
+        n_gpus: int | None = None,
         name: str = "multiway-cc",
         vertex_weights: np.ndarray | None = None,
         work_scale: float = 1.0,
     ) -> None:
-        if n_gpus < 1:
-            raise ValidationError("n_gpus must be >= 1")
+        cluster = _coerce_problem_cluster(cluster, n_gpus, "MultiwayCcProblem")
         if work_scale <= 0:
             raise ValidationError("work_scale must be positive")
         self.graph = graph
-        self.machine = machine
-        self.n_gpus = n_gpus
+        self.cluster = cluster
+        self.n_gpus = cluster.n_devices - 1
         self.name = name
         self.work_scale = float(work_scale)
         self._profile = RangeCutProfile(graph)
@@ -194,6 +252,11 @@ class MultiwayCcProblem:
             self._rep_prefix = None
             self._atom_prefix_max = None
         self.vertex_weights = vertex_weights
+
+    @property
+    def n_cuts(self) -> int:
+        """Vector length — the device-neutral alias for ``n_gpus``."""
+        return self.n_gpus
 
     # -- threshold geometry ------------------------------------------------------
 
@@ -238,25 +301,26 @@ class MultiwayCcProblem:
         work = self._range_work(a, b)
         if work == 0:
             return 0.0
-        rate = effective_rate_per_ms(self.machine.cpu, PROFILE_CC)
-        threads = self.machine.cpu.threads
+        cpu = self.cluster.devices[0]
+        rate = effective_rate_per_ms(cpu, PROFILE_CC)
+        threads = cpu.threads
         if self._atom_prefix_max is not None:
             atom = float(self._atom_prefix_max[self._profile.cut_index(b)])
         else:
             atom = 1.0 + self._profile.max_degree_below(b)
         heaviest = max(work / threads, atom)
-        return heaviest / (rate / threads) + self.machine.cpu.kernel_launch_us * 1e-3
+        return heaviest / (rate / threads) + cpu.kernel_launch_us * 1e-3
 
-    def _gpu_ms(self, a: int, b: int) -> float:
+    def _gpu_ms(self, device: int, a: int, b: int) -> float:
+        """SV time for range [a, b) on accelerator *device* (0-based)."""
         work = self._range_work(a, b)
         if work == 0:
             return 0.0
+        gpu = self.cluster.devices[device + 1]
         n_range = max(self._range_vertices(a, b), 2)
-        rate = effective_rate_per_ms(self.machine.gpu, PROFILE_CC)
+        rate = effective_rate_per_ms(gpu, PROFILE_CC)
         sweep = SV_EFFECTIVE_PASSES * work / rate
-        launches = (
-            modeled_sv_iterations(n_range) * self.machine.gpu.kernel_launch_us * 1e-3
-        )
+        launches = modeled_sv_iterations(n_range) * gpu.kernel_launch_us * 1e-3
         return sweep + launches
 
     def _pipeline(self, thresholds: Sequence[float]) -> Timeline:
@@ -270,28 +334,34 @@ class MultiwayCcProblem:
             tasks.append(("cpu", "phase2/cc-cpu-dfs", self._cpu_ms(*cpu_range)))
         for i, rng in enumerate(ranges[1:]):
             if self._range_vertices(*rng) > 0:
-                tasks.append((f"gpu{i}", f"phase2/cc-gpu{i}-sv", self._gpu_ms(*rng)))
+                tasks.append(
+                    (f"gpu{i}", f"phase2/cc-gpu{i}-sv", self._gpu_ms(i, *rng))
+                )
         tl.overlap(tasks)
-        # Merge on GPU 0 over every cross-range edge; non-resident labels
-        # ship over PCIe first.
+        # Merge on the fastest accelerator over every cross-range edge;
+        # non-resident labels ship over that device's link first.
         within = sum(self._profile.within(a, b) for a, b in ranges)
         cross = self._profile.m - within
         active = sum(1 for r in ranges if self._range_vertices(*r) > 0)
         if active > 1:
-            foreign_vertices = self.graph.n - self._range_vertices(*ranges[1])
+            mi = self.cluster.merge_device_index()
+            merge_dev = self.cluster.devices[mi]
+            foreign_vertices = self.graph.n - self._range_vertices(*ranges[mi])
             tl.run(
-                "pcie",
+                self.cluster.interconnect.resource_for(mi),
                 "phase2/h2d-labels",
-                self.machine.transfer_ms(foreign_vertices * _BYTES_PER_VERTEX),
+                self.cluster.link_for(mi).transfer_ms(
+                    foreign_vertices * _BYTES_PER_VERTEX
+                ),
             )
-            merge_rate = effective_rate_per_ms(self.machine.gpu, PROFILE_MERGE)
+            merge_rate = effective_rate_per_ms(merge_dev, PROFILE_MERGE)
             merge_ms = (
                 MERGE_EFFECTIVE_PASSES * (2.0 * cross + 1.0) / merge_rate
                 + modeled_merge_iterations(cross)
-                * self.machine.gpu.kernel_launch_us
+                * merge_dev.kernel_launch_us
                 * 1e-3
             )
-            tl.run("gpu0", "phase2/merge-cross-edges", merge_ms)
+            tl.run(f"gpu{mi - 1}", "phase2/merge-cross-edges", merge_ms)
         return tl
 
     # -- vector-threshold problem interface --------------------------------------------
@@ -339,10 +409,8 @@ class MultiwayCcProblem:
         else:
             deg = prof._degree_prefix[idx[:, 1:]] - prof._degree_prefix[idx[:, :-1]]
             work = self.work_scale * (nv + deg).astype(np.float64)
-        cpu = self.machine.cpu
-        gpu = self.machine.gpu
+        cpu = self.cluster.devices[0]
         rate_c = effective_rate_per_ms(cpu, PROFILE_CC)
-        rate_g = effective_rate_per_ms(gpu, PROFILE_CC)
         threads = cpu.threads
         if self._atom_prefix_max is not None:
             atom = self._atom_prefix_max[idx[:, 1]]
@@ -356,28 +424,34 @@ class MultiwayCcProblem:
         # scalar path's per-device zero-work early-outs reduce to nv masks.
         n_range = np.maximum(nv[:, 1:], 2)
         sv_iters = np.ceil(np.log2(n_range)).astype(_INDEX) + 1
-        gpu_ms = (
-            SV_EFFECTIVE_PASSES * work[:, 1:] / rate_g
-            + sv_iters * gpu.kernel_launch_us * 1e-3
-        )
         longest = np.where(nv[:, 0] > 0, cpu_ms, 0.0)
         for i in range(self.n_gpus):
+            gpu = self.cluster.devices[i + 1]
+            rate_g = effective_rate_per_ms(gpu, PROFILE_CC)
+            gpu_ms = (
+                SV_EFFECTIVE_PASSES * work[:, i + 1] / rate_g
+                + sv_iters[:, i] * gpu.kernel_launch_us * 1e-3
+            )
             longest = np.maximum(
-                longest, np.where(nv[:, i + 1] > 0, gpu_ms[:, i], 0.0)
+                longest, np.where(nv[:, i + 1] > 0, gpu_ms, 0.0)
             )
         within = prof.within_many(bounds[:, :-1], bounds[:, 1:]).sum(axis=1)
         cross = prof.m - within
         active = (nv > 0).sum(axis=1)
-        foreign = self.graph.n - nv[:, 1]
-        transfer = self.machine.transfer_ms_many(foreign * _BYTES_PER_VERTEX)
+        mi = self.cluster.merge_device_index()
+        merge_dev = self.cluster.devices[mi]
+        foreign = self.graph.n - nv[:, mi]
+        transfer = self.cluster.link_for(mi).transfer_ms_many(
+            foreign * _BYTES_PER_VERTEX
+        )
         uniq, inverse = np.unique(cross, return_inverse=True)
         merge_iters = np.array(
             [modeled_merge_iterations(int(c)) for c in uniq], dtype=_INDEX
         )[inverse].reshape(cross.shape)
-        merge_rate = effective_rate_per_ms(gpu, PROFILE_MERGE)
+        merge_rate = effective_rate_per_ms(merge_dev, PROFILE_MERGE)
         merge_ms = (
             MERGE_EFFECTIVE_PASSES * (2.0 * cross + 1.0) / merge_rate
-            + merge_iters * gpu.kernel_launch_us * 1e-3
+            + merge_iters * merge_dev.kernel_launch_us * 1e-3
         )
         return np.where(active > 1, (longest + transfer) + merge_ms, longest)
 
@@ -395,8 +469,7 @@ class MultiwayCcProblem:
         sub = self.graph.subgraph(vs)
         return MultiwayCcProblem(
             sub,
-            self.machine.without_fixed_overheads(),
-            n_gpus=self.n_gpus,
+            self.cluster.without_fixed_overheads(),
             name=f"{self.name}/sample{size}",
             vertex_weights=self.graph.degrees()[vs].astype(np.float64),
             work_scale=self.graph.n / max(size, 1),
@@ -405,21 +478,16 @@ class MultiwayCcProblem:
     def sampling_cost_ms(self, size: int) -> float:
         avg_deg = 2.0 * self.graph.m / max(self.graph.n, 1)
         work = float(size) * (1.0 + avg_deg) + self.graph.n / 8.0
-        return work / effective_rate_per_ms(self.machine.cpu, PROFILE_EDGE_SCAN)
+        return work / effective_rate_per_ms(
+            self.cluster.devices[0], PROFILE_EDGE_SCAN
+        )
 
     def default_sample_size(self) -> int:
         return max(2, math.isqrt(self.graph.n))
 
     def naive_static_thresholds(self) -> tuple[float, ...]:
-        """Peak-FLOPS split: CPU share first, then equal GPU shares."""
-        g = self.machine.gpu.peak_gflops * self.n_gpus
-        c = self.machine.cpu.peak_gflops
-        cpu_share = 100.0 * c / (c + g)
-        gpu_share = (100.0 - cpu_share) / self.n_gpus
-        return tuple(
-            min(100.0, round(cpu_share + i * gpu_share))
-            for i in range(self.n_gpus)
-        )
+        """Cumulative peak-FLOPS cuts (:meth:`ClusterSpec.naive_static_cuts`)."""
+        return self.cluster.naive_static_cuts()
 
     # -- real execution -------------------------------------------------------------------
 
@@ -453,83 +521,14 @@ class MultiwayCcProblem:
         )
 
 
-def _value_many(problem, trials: np.ndarray) -> np.ndarray:
-    """Price a (batch, n_gpus) matrix of trial vectors, batched if possible."""
-    fn = getattr(problem, "evaluate_many", None)
-    if callable(fn):
-        return np.asarray(fn(trials), dtype=np.float64)
-    return np.array(
-        [problem.evaluate_ms(list(t)) for t in trials], dtype=np.float64
-    )
+# The identify search moved to the framework layer so any cut-vector
+# problem (not just CC) can use it; re-exported here because this module
+# introduced it and the historical import path is public API.
+from repro.core.cut_vector import coordinate_descent  # noqa: E402  (re-export)
 
-
-def coordinate_descent(
-    problem: MultiwayCcProblem,
-    start: Sequence[float] | None = None,
-    max_sweeps: int = 6,
-    step: int = 4,
-) -> tuple[tuple[float, ...], float, int]:
-    """Cyclic coordinate descent over the threshold vector.
-
-    Each sweep refines one coordinate at a time over the percent grid
-    (stride *step*, then stride 1 around the winner), holding the others
-    fixed and keeping the vector non-decreasing.  Every coordinate pass
-    prices its whole candidate set in one ``evaluate_many`` batch (a scalar
-    loop when the problem has no batch pricing); the winner is the first
-    candidate to strictly improve, exactly as the scalar scan picked it.
-    Returns ``(thresholds, value_ms, n_evaluations)``.
-    """
-    if start is None:
-        current = list(problem.naive_static_thresholds())
-    else:
-        current = [float(t) for t in start]
-    evals = 1
-    best_val = float(problem.evaluate_ms(current))
-    for _ in range(max_sweeps):
-        moved = False
-        for i in range(problem.n_gpus):
-            lo = current[i - 1] if i > 0 else 0.0
-            hi = current[i + 1] if i + 1 < problem.n_gpus else 100.0
-
-            def probe(
-                cands: np.ndarray,
-                skip: set[float],
-                best_c: float,
-                best_c_val: float,
-                coord: int = i,
-            ) -> tuple[float, float]:
-                nonlocal evals
-                kept = np.asarray(
-                    [float(c) for c in cands if float(c) not in skip],
-                    dtype=np.float64,
-                )
-                if kept.size == 0:
-                    return best_c, best_c_val
-                trials = np.tile(
-                    np.asarray(current, dtype=np.float64), (kept.size, 1)
-                )
-                trials[:, coord] = kept
-                vals = _value_many(problem, trials)
-                evals += int(kept.size)
-                j = int(np.argmin(vals))
-                if float(vals[j]) < best_c_val:
-                    return float(kept[j]), float(vals[j])
-                return best_c, best_c_val
-
-            best_c, best_c_val = probe(
-                np.arange(lo, hi + 1, step), {current[i]}, current[i], best_val
-            )
-            # Fine pass around the coarse winner.
-            best_c, best_c_val = probe(
-                np.arange(max(lo, best_c - step), min(hi, best_c + step) + 1),
-                {current[i], best_c},
-                best_c,
-                best_c_val,
-            )
-            if best_c != current[i]:
-                current[i] = best_c
-                best_val = best_c_val
-                moved = True
-        if not moved:
-            break
-    return tuple(current), best_val, evals
+__all__ = [
+    "RangeCutProfile",
+    "MultiwayCcProblem",
+    "MultiwayCcRunResult",
+    "coordinate_descent",
+]

@@ -1,15 +1,19 @@
-"""Multi-device extension of Algorithm 2: spmm on one CPU plus several GPUs.
+"""Multi-device extension of Algorithm 2: spmm across a cluster's devices.
 
 The work-share axis generalizes directly: a threshold vector
-``(c_1, …, c_g)`` of cumulative work-share percentages gives the CPU the
-rows carrying work ``[0, c_1)`` percent and GPU ``i`` the rows carrying
-``[c_i, c_{i+1})`` percent (the last GPU up to 100).  Pricing reuses the
-scalar problem's prefix machinery; identify reuses the same cyclic
-coordinate descent as :mod:`repro.hetero.multiway_cc`.
+``(c_1, …, c_{p-1})`` of cumulative work-share percentages gives the CPU
+the rows carrying work ``[0, c_1)`` percent and accelerator ``i`` the rows
+carrying ``[c_i, c_{i+1})`` percent (the last one up to 100).  Pricing
+reuses the scalar problem's prefix machinery with each range priced on its
+own :class:`~repro.platform.device.DeviceSpec`; identify reuses the same
+cyclic coordinate descent as :mod:`repro.hetero.multiway_cc`.
 
-Each GPU's result slab ships back over the (shared) PCIe link, so result
-transfers serialize — one more reason adding GPUs has diminishing returns
-for output-heavy products.
+Result slabs ship back over the cluster's interconnect: under the
+``"shared"`` topology every transfer serializes on one link (one more
+reason adding GPUs has diminishing returns for output-heavy products);
+under ``"dedicated"`` each accelerator streams on its own link and the
+transfers overlap.  The deprecated machine+``n_gpus`` constructor shape is
+the ``"shared"`` homogeneous special case and prices bit-identically.
 """
 
 from __future__ import annotations
@@ -19,7 +23,9 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.hetero.multiway_cc import _coerce_problem_cluster
 from repro.hetero.spmm import _BYTES_PER_NNZ, SpmmProblem
+from repro.platform.cluster import ClusterSpec
 from repro.platform.costmodel import effective_rate_per_ms
 from repro.platform.machine import HeterogeneousMachine
 from repro.platform.timeline import Timeline
@@ -47,30 +53,58 @@ class MultiwaySpmmRunResult:
 
 
 class MultiwaySpmmProblem:
-    """``A x A`` across one CPU and *n_gpus* identical GPUs.
+    """``A x A`` across the devices of a :class:`ClusterSpec`.
 
     Wraps a scalar :class:`SpmmProblem` for all per-row precomputation; the
-    vector threshold only changes how its prefix arrays are cut.
+    vector threshold only changes how its prefix arrays are cut, and each
+    range prices on its own device spec.  The deprecated 2-device form — a
+    :class:`HeterogeneousMachine` plus an ``n_gpus`` copy count — still
+    works and prices bit-identically.
     """
 
     def __init__(
         self,
         a: CsrMatrix,
-        machine: HeterogeneousMachine,
-        n_gpus: int = 2,
+        cluster: HeterogeneousMachine | ClusterSpec,
+        n_gpus: int | None = None,
         name: str = "multiway-spmm",
         base: SpmmProblem | None = None,
     ) -> None:
-        if n_gpus < 1:
-            raise ValidationError("n_gpus must be >= 1")
-        self.n_gpus = n_gpus
+        cluster = _coerce_problem_cluster(cluster, n_gpus, "MultiwaySpmmProblem")
+        warp_sizes = {d.warp_size for d in cluster.accelerators}
+        if len(warp_sizes) != 1:
+            raise ValidationError(
+                "MultiwaySpmmProblem accelerators must share one warp size "
+                f"(the row-padding tables assume it), got {sorted(warp_sizes)}"
+            )
+        self.cluster = cluster
+        self.n_gpus = cluster.n_devices - 1
         self.name = name
-        self._base = base if base is not None else SpmmProblem(a, machine, name=name)
+        if base is not None:
+            self._base = base
+        else:
+            # The base problem only needs the host spec, one accelerator
+            # spec (for the warp-padded row tables), and a link; give it
+            # the cluster's 2-device view.
+            self._base = SpmmProblem(
+                a,
+                HeterogeneousMachine(
+                    cpu=cluster.devices[0],
+                    gpu=cluster.devices[1],
+                    link=cluster.links[0],
+                ),
+                name=name,
+            )
         self.machine = self._base.machine
 
     @property
     def a(self) -> CsrMatrix:
         return self._base.a
+
+    @property
+    def n_cuts(self) -> int:
+        """Vector length — the device-neutral alias for ``n_gpus``."""
+        return self.n_gpus
 
     # -- threshold geometry -----------------------------------------------------
 
@@ -103,12 +137,12 @@ class MultiwaySpmmProblem:
 
     # -- pricing -------------------------------------------------------------------
 
-    def _gpu_range_ms(self, lo: int, hi: int) -> float:
-        """GPU time for rows [lo, hi) (row-per-warp, suffix-max straggler bound)."""
+    def _gpu_range_ms(self, device: int, lo: int, hi: int) -> float:
+        """Accelerator *device* time for rows [lo, hi) (row-per-warp model)."""
         if hi <= lo:
             return 0.0
         base = self._base
-        gpu = self.machine.gpu
+        gpu = self.cluster.devices[device + 1]
         padded = float(
             base._rep_padded_prefix[hi] - base._rep_padded_prefix[lo]
         )
@@ -131,19 +165,33 @@ class MultiwaySpmmProblem:
             tasks.append(("cpu", "phase2/spgemm-cpu", self._base._cpu_ms(cpu_rows)))
         for i in range(self.n_gpus):
             lo, hi = bounds[i + 1], bounds[i + 2]
-            ms = self._gpu_range_ms(lo, hi)
+            ms = self._gpu_range_ms(i, lo, hi)
             if ms > 0:
                 tasks.append((f"gpu{i}", f"phase2/spgemm-gpu{i}", ms))
         tl.overlap(tasks)
-        # Result slabs share one link: transfers serialize.
+        # Result slabs ship back: serialized on one "pcie" resource under
+        # the shared topology, overlapped on per-device links otherwise.
         base = self._base
+        ic = self.cluster.interconnect
+        transfers = []
         for i in range(self.n_gpus):
             lo, hi = bounds[i + 1], bounds[i + 2]
             if hi <= lo:
                 continue
             mults = (base._rep_flop_prefix[hi] - base._rep_flop_prefix[lo]) / 2.0
             nbytes = mults * base._compression * _BYTES_PER_NNZ
-            tl.run("pcie", f"phase2/d2h-gpu{i}", self.machine.transfer_ms(nbytes))
+            transfers.append(
+                (
+                    ic.resource_for(i + 1),
+                    f"phase2/d2h-gpu{i}",
+                    self.cluster.link_for(i + 1).transfer_ms(nbytes),
+                )
+            )
+        if ic.topology == "shared":
+            for resource, label, ms in transfers:
+                tl.run(resource, label, ms)
+        elif transfers:
+            tl.overlap(transfers)
         return tl
 
     def evaluate_ms(self, thresholds: Sequence[float]) -> float:
@@ -182,12 +230,9 @@ class MultiwaySpmmProblem:
             ),
             axis=1,
         )
-        cpu = self.machine.cpu
-        gpu = self.machine.gpu
+        cpu = self.cluster.devices[0]
         rate_c = effective_rate_per_ms(cpu, base.profile)
-        rate_g = effective_rate_per_ms(gpu, base.profile)
         threads = cpu.threads
-        warp_rate = rate_g * gpu.warp_size / gpu.cores
         cpu_rows = bounds[:, 1]
         cpu_work = base._rep_flop_prefix[cpu_rows]
         cpu_atom = base.row_scale * base._flop_prefix_max[cpu_rows]
@@ -197,6 +242,9 @@ class MultiwaySpmmProblem:
         )
         longest = np.where(cpu_rows > 0, cpu_ms, 0.0)
         for i in range(self.n_gpus):
+            gpu = self.cluster.devices[i + 1]
+            rate_g = effective_rate_per_ms(gpu, base.profile)
+            warp_rate = rate_g * gpu.warp_size / gpu.cores
             lo, hi = bounds[:, i + 1], bounds[:, i + 2]
             padded = base._rep_padded_prefix[hi] - base._rep_padded_prefix[lo]
             straggler = base.row_scale * base._flop_suffix_max[lo] / warp_rate
@@ -205,14 +253,23 @@ class MultiwaySpmmProblem:
                 + gpu.kernel_launch_us * 1e-3
             )
             longest = np.maximum(longest, np.where(hi > lo, gpu_ms, 0.0))
-        # Result slabs share one link: transfers serialize (cursor adds).
+        # Result slabs: the shared topology serializes transfers on one
+        # link (cursor adds); dedicated links overlap (max).
+        shared = self.cluster.interconnect.topology == "shared"
         total = longest
+        slowest = np.zeros_like(longest)
         for i in range(self.n_gpus):
             lo, hi = bounds[:, i + 1], bounds[:, i + 2]
             mults = (base._rep_flop_prefix[hi] - base._rep_flop_prefix[lo]) / 2.0
             nbytes = mults * base._compression * _BYTES_PER_NNZ
-            d2h = self.machine.transfer_ms_many(nbytes)
-            total = total + np.where(hi > lo, d2h, 0.0)
+            d2h = self.cluster.link_for(i + 1).transfer_ms_many(nbytes)
+            masked = np.where(hi > lo, d2h, 0.0)
+            if shared:
+                total = total + masked
+            else:
+                slowest = np.maximum(slowest, masked)
+        if not shared:
+            total = total + slowest
         return total
 
     def timeline(self, thresholds: Sequence[float]) -> Timeline:
@@ -222,22 +279,15 @@ class MultiwaySpmmProblem:
         return np.arange(0.0, 101.0)
 
     def naive_static_thresholds(self) -> tuple[float, ...]:
-        """Peak-FLOPS shares: CPU first, then equal GPU shares."""
-        g = self.machine.gpu.peak_gflops * self.n_gpus
-        c = self.machine.cpu.peak_gflops
-        cpu_share = 100.0 * c / (c + g)
-        gpu_share = (100.0 - cpu_share) / self.n_gpus
-        return tuple(
-            min(100.0, round(cpu_share + i * gpu_share)) for i in range(self.n_gpus)
-        )
+        """Cumulative peak-FLOPS cuts (:meth:`ClusterSpec.naive_static_cuts`)."""
+        return self.cluster.naive_static_cuts()
 
     def sample(self, size: int, rng: RngLike = None) -> "MultiwaySpmmProblem":
-        """A sampled miniature with the same device count."""
+        """A sampled miniature with the same cluster shape."""
         sub = self._base.sample(size, rng=rng)
         return MultiwaySpmmProblem(
             sub.a,
-            sub.machine,
-            n_gpus=self.n_gpus,
+            self.cluster.without_fixed_overheads(),
             name=f"{self.name}/sample{size}",
             base=sub,
         )

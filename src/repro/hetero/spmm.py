@@ -35,6 +35,7 @@ from repro.platform.costmodel import (
     effective_rate_per_ms,
     gpu_row_per_warp_time_many,
 )
+from repro.platform.cluster import ClusterSpec, coerce_machine
 from repro.platform.machine import HeterogeneousMachine
 from repro.platform.timeline import Timeline
 from repro.sparse.csr import CsrMatrix
@@ -88,7 +89,7 @@ class SpmmProblem:
     def __init__(
         self,
         a: CsrMatrix,
-        machine: HeterogeneousMachine,
+        machine: "HeterogeneousMachine | ClusterSpec",
         b: CsrMatrix | None = None,
         name: str = "spmm",
         work_scale: float = 1.0,
@@ -106,7 +107,8 @@ class SpmmProblem:
             raise ValidationError(f"unknown sampling_method {sampling_method!r}")
         self.a = a
         self.b = b if b is not None else a
-        self.machine = machine
+        # A 2-device ClusterSpec works anywhere the legacy machine does.
+        self.machine = coerce_machine(machine)
         self.name = name
         self.sampling_method = sampling_method
         # Scaled identify pricing (see CcProblem): a sampled instance prices

@@ -24,9 +24,10 @@ paper's sampling technique exploits.
 from repro.platform.device import (
     DeviceSpec,
     cpu_xeon_e5_2650_dual,
+    gpu_tesla_k20c,
     gpu_tesla_k40c,
 )
-from repro.platform.pcie import PcieLink, pcie_gen3_x16
+from repro.platform.pcie import PcieLink, pcie_gen2_x16, pcie_gen3_x16
 from repro.platform.costmodel import (
     KernelProfile,
     cpu_chunked_time,
@@ -38,6 +39,15 @@ from repro.platform.costmodel import (
 )
 from repro.platform.timeline import Span, Timeline
 from repro.platform.machine import HeterogeneousMachine, paper_testbed
+from repro.platform.cluster import (
+    ClusterSpec,
+    Interconnect,
+    balanced_partition_sizes,
+    cluster_testbed,
+    coerce_cluster,
+    coerce_machine,
+    imbalance,
+)
 from repro.platform.calibration import (
     Measurement,
     ValidationReport,
@@ -48,9 +58,18 @@ from repro.platform.calibration import (
 __all__ = [
     "DeviceSpec",
     "cpu_xeon_e5_2650_dual",
+    "gpu_tesla_k20c",
     "gpu_tesla_k40c",
     "PcieLink",
+    "pcie_gen2_x16",
     "pcie_gen3_x16",
+    "ClusterSpec",
+    "Interconnect",
+    "cluster_testbed",
+    "coerce_cluster",
+    "coerce_machine",
+    "balanced_partition_sizes",
+    "imbalance",
     "KernelProfile",
     "cpu_chunked_time",
     "cpu_time_from_chunk_sums",

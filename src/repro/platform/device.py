@@ -11,7 +11,8 @@ partitioning baseline, which assigns the GPU an 88% share.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from typing import Mapping
 
 from repro.util.errors import ValidationError
 
@@ -82,6 +83,14 @@ class DeviceSpec:
         """Warp-wide execution slots available machine-wide (GPU: lanes/warp_size)."""
         return max(1, self.cores // self.warp_size)
 
+    def to_record(self) -> dict:
+        """Plain-dict form for fingerprints and serialized cluster specs."""
+        return asdict(self)
+
+    @classmethod
+    def from_record(cls, record: Mapping) -> "DeviceSpec":
+        return cls(**dict(record))
+
 
 def cpu_xeon_e5_2650_dual() -> DeviceSpec:
     """The paper's host CPU: dual Xeon E5-2650, 2x10 cores @ 2.3 GHz, 40 SMT threads.
@@ -117,6 +126,27 @@ def gpu_tesla_k40c() -> DeviceSpec:
         flops_per_cycle=2.0,
         mem_bandwidth_gbs=288.0,
         sm_count=15,
+        warp_size=32,
+        kernel_launch_us=8.0,
+    )
+
+
+def gpu_tesla_k20c() -> DeviceSpec:
+    """A previous-generation accelerator: Tesla K20c, 13 SMX x 192 @ 706 MHz.
+
+    ~3.52 SP TFLOP/s — pairing it with K40c nodes gives the heterogeneous
+    cluster shapes the cut-vector tuner targets (see
+    :func:`repro.platform.cluster.cluster_testbed`).
+    """
+    return DeviceSpec(
+        name="NVidia Tesla K20c",
+        kind="gpu",
+        cores=2496,
+        threads=2496,
+        clock_ghz=0.706,
+        flops_per_cycle=2.0,
+        mem_bandwidth_gbs=208.0,
+        sm_count=13,
         warp_size=32,
         kernel_launch_us=8.0,
     )

@@ -8,7 +8,8 @@ to every GPU phase.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from typing import Mapping
 
 import numpy as np
 
@@ -58,7 +59,20 @@ class PcieLink:
         seconds = self.latency_us * 1e-6 + arr / (self.bandwidth_gbs * 1e9)
         return np.where(arr == 0.0, 0.0, seconds * 1e3)  # reprolint: disable=FLT001 -- exact-zero mask mirrors the scalar fast path
 
+    def to_record(self) -> dict:
+        """Plain-dict form for fingerprints and serialized cluster specs."""
+        return asdict(self)
+
+    @classmethod
+    def from_record(cls, record: Mapping) -> "PcieLink":
+        return cls(**dict(record))
+
 
 def pcie_gen3_x16() -> PcieLink:
     """The paper-era link: PCIe 3.0 x16, ~12 GB/s sustained, ~10 us latency."""
     return PcieLink(bandwidth_gbs=12.0, latency_us=10.0)
+
+
+def pcie_gen2_x16() -> PcieLink:
+    """The previous-generation link: PCIe 2.0 x16, ~6 GB/s, ~12 us latency."""
+    return PcieLink(bandwidth_gbs=6.0, latency_us=12.0)

@@ -26,8 +26,17 @@ from repro.experiments.config import ExperimentConfig
 from repro.util.errors import ReproError, ValidationError
 from repro.workloads.suite import dataset_names
 
-#: Problem kinds the service can tune, mapped to the case studies.
-PROBLEM_KINDS = ("cc", "spmm", "hh")
+#: Problem kinds the service can tune.  The first three are the scalar
+#: case studies (one CPU + one GPU); the ``cluster-*`` kinds tune a cut
+#: *vector* over an N-device :class:`~repro.platform.ClusterSpec` built
+#: from the paper testbed (see docs/CLUSTER.md).
+PROBLEM_KINDS = ("cc", "spmm", "hh", "cluster-cc", "cluster-spmm")
+
+#: Kinds whose answer is a single scalar threshold (legacy 2-device).
+SCALAR_KINDS = ("cc", "spmm", "hh")
+
+#: Kinds whose answer is a cut vector over ``n_devices`` devices.
+CLUSTER_KINDS = ("cluster-cc", "cluster-spmm")
 
 #: Default request scale: the benchmark scale (1/64 of Table II), small
 #: enough that a cold tune answers in well under a second.
@@ -70,6 +79,15 @@ class TuneRequest:
     sample_size:
         Override of the problem family's default sample size
         (``None`` = the paper's recommendation).
+    n_devices:
+        Total device count (CPU + accelerators).  Scalar kinds are
+        defined on exactly two devices; the ``cluster-*`` kinds accept
+        any ``n_devices >= 2`` and answer with a cut vector of
+        ``n_devices - 1`` cumulative percentages.
+    interconnect:
+        Interconnect topology, ``"shared"`` (transfers serialize on one
+        link, the legacy PCIe behavior) or ``"dedicated"`` (one link per
+        accelerator, transfers overlap).
     """
 
     problem: str
@@ -78,12 +96,35 @@ class TuneRequest:
     seed: int = 2017
     repeats: int = 1
     sample_size: int | None = None
+    n_devices: int = 2
+    interconnect: str = "shared"
 
     def __post_init__(self) -> None:
+        from repro.platform.cluster import TOPOLOGIES
+
         if self.problem not in PROBLEM_KINDS:
             raise ValidationError(
                 f"unknown problem kind {self.problem!r}; expected one of "
                 f"{PROBLEM_KINDS}"
+            )
+        if self.interconnect not in TOPOLOGIES:
+            raise ValidationError(
+                f"unknown interconnect {self.interconnect!r}; expected one "
+                f"of {TOPOLOGIES}"
+            )
+        if self.n_devices < 2:
+            raise ValidationError(
+                f"n_devices must be >= 2, got {self.n_devices}"
+            )
+        if self.problem in SCALAR_KINDS and self.n_devices != 2:
+            raise ValidationError(
+                f"problem kind {self.problem!r} is defined on exactly two "
+                f"devices; use a cluster-* kind for n_devices="
+                f"{self.n_devices}"
+            )
+        if self.problem in CLUSTER_KINDS and self.repeats != 1:
+            raise ValidationError(
+                f"cluster kinds tune with repeats=1, got {self.repeats}"
             )
         if self.dataset not in dataset_names():
             raise ValidationError(
@@ -100,7 +141,12 @@ class TuneRequest:
             )
 
     def key_fields(self) -> dict:
-        """Cache-key / coalescing-key fields (the request's full identity)."""
+        """Cache-key / coalescing-key fields (the request's full identity).
+
+        ``n_devices`` and ``interconnect`` are always present: two
+        requests differing only in cluster shape must never share a
+        cache entry (see ``tests/test_platform_cluster.py``).
+        """
         return {
             "kind": "serve-tune",
             "problem": self.problem,
@@ -109,20 +155,28 @@ class TuneRequest:
             "seed": self.seed,
             "repeats": self.repeats,
             "sample_size": self.sample_size,
+            "n_devices": self.n_devices,
+            "interconnect": self.interconnect,
         }
 
     def fingerprint(self) -> str:
         """Stable hex id of this request (single-flight coalescing key)."""
         return fingerprint(self.key_fields())
 
-    def problem_key(self) -> tuple[str, str, float]:
+    def problem_key(self) -> tuple[str, str, float, int, str]:
         """What two requests must share to reuse one problem instance.
 
-        Requests agreeing on (problem kind, dataset, scale) are priced
-        against the same materialized problem — the micro-batching
-        compatibility relation.
+        Requests agreeing on (problem kind, dataset, scale, cluster
+        shape) are priced against the same materialized problem — the
+        micro-batching compatibility relation.
         """
-        return (self.problem, self.dataset, self.scale)
+        return (
+            self.problem,
+            self.dataset,
+            self.scale,
+            self.n_devices,
+            self.interconnect,
+        )
 
     def to_record(self) -> dict:
         return {
@@ -132,6 +186,8 @@ class TuneRequest:
             "seed": self.seed,
             "repeats": self.repeats,
             "sample_size": self.sample_size,
+            "n_devices": self.n_devices,
+            "interconnect": self.interconnect,
         }
 
     @classmethod
@@ -144,6 +200,8 @@ class TuneRequest:
             seed=int(record["seed"]),
             repeats=int(record.get("repeats", 1)),
             sample_size=None if sample_size is None else int(sample_size),
+            n_devices=int(record.get("n_devices", 2)),
+            interconnect=str(record.get("interconnect", "shared")),
         )
 
 
@@ -167,6 +225,14 @@ class TuneResponse:
     overhead_percent: float
     n_evaluations: int
     search_name: str
+    #: The full cut vector.  Scalar kinds answer ``(threshold,)``;
+    #: cluster kinds answer ``n_devices - 1`` cumulative percentages and
+    #: ``threshold`` echoes the first cut (the CPU share boundary).
+    thresholds: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.thresholds:
+            object.__setattr__(self, "thresholds", (self.threshold,))
 
     def to_record(self) -> dict:
         return {
@@ -175,6 +241,7 @@ class TuneResponse:
             "scale": self.scale,
             "seed": self.seed,
             "threshold": self.threshold,
+            "thresholds": list(self.thresholds),
             "phase2_ms": self.phase2_ms,
             "estimation_ms": self.estimation_ms,
             "overhead_percent": self.overhead_percent,
@@ -184,12 +251,14 @@ class TuneResponse:
 
     @classmethod
     def from_record(cls, record: dict) -> "TuneResponse":
+        thresholds = record.get("thresholds")
         return cls(
             problem=str(record["problem"]),
             dataset=str(record["dataset"]),
             scale=float(record["scale"]),
             seed=int(record["seed"]),
             threshold=float(record["threshold"]),
+            thresholds=tuple(float(t) for t in thresholds or ()),
             phase2_ms=float(record["phase2_ms"]),
             estimation_ms=float(record["estimation_ms"]),
             overhead_percent=float(record["overhead_percent"]),
@@ -210,23 +279,46 @@ class TuneResponse:
 
 
 def build_problem(
-    kind: str, dataset: str, scale: float
+    kind: str,
+    dataset: str,
+    scale: float,
+    *,
+    n_devices: int = 2,
+    interconnect: str = "shared",
 ) -> PartitionProblem:
     """Materialize the problem instance a request family is priced on.
 
     Datasets come from the config-level materialization cache, so
     repeated builds for one (dataset, scale) reuse the synthesized
     instance; the problem object itself carries the precomputed pricing
-    tables the vectorized ``evaluate_grid`` sweeps run on.
+    tables the vectorized ``evaluate_grid`` sweeps run on.  Cluster
+    kinds bind the dataset to a homogeneous-accelerator
+    :class:`~repro.platform.ClusterSpec` derived from the paper testbed
+    at this scale.
     """
     from repro.experiments import runner
 
+    config = ExperimentConfig(scale=scale)
+    if kind in CLUSTER_KINDS:
+        from repro.hetero.multiway_cc import MultiwayCcProblem
+        from repro.hetero.multiway_spmm import MultiwaySpmmProblem
+        from repro.platform.cluster import ClusterSpec
+
+        ds = config.dataset(dataset)
+        cluster = ClusterSpec.from_machine(
+            config.machine(),
+            n_gpus=n_devices - 1,
+            topology=interconnect,
+            name=f"serve-p{n_devices}",
+        )
+        if kind == "cluster-cc":
+            return MultiwayCcProblem(ds.as_graph(), cluster, name=dataset)
+        return MultiwaySpmmProblem(ds.matrix, cluster, name=dataset)
     factories = {
         "cc": runner.cc_problem,
         "spmm": runner.spmm_problem,
         "hh": runner.hh_problem,
     }
-    config = ExperimentConfig(scale=scale)
     return factories[kind](config, dataset)
 
 
@@ -242,6 +334,8 @@ def tune(request: TuneRequest, problem: PartitionProblem | None = None) -> TuneR
     """
     from repro.experiments import runner
 
+    if request.problem in CLUSTER_KINDS:
+        return _tune_cluster_request(request, problem)
     partitioner_factories = {
         "cc": runner.cc_partitioner,
         "spmm": runner.spmm_partitioner,
@@ -270,4 +364,47 @@ def tune(request: TuneRequest, problem: PartitionProblem | None = None) -> TuneR
         overhead_percent=float(estimate.overhead_percent(phase2_ms)),
         n_evaluations=int(sum(s.n_evaluations for s in estimate.searches)),
         search_name=type(partitioner.search).__name__,
+    )
+
+
+def _tune_cluster_request(
+    request: TuneRequest, problem: PartitionProblem | None
+) -> TuneResponse:
+    """The cluster-kind half of :func:`tune` (cut vectors, not scalars).
+
+    Identify is :func:`repro.core.cut_vector.tune_cluster` — coordinate
+    descent on a sampled problem with identity extrapolation — seeded
+    from the request exactly the way the harness streams are.
+    """
+    from repro.core.cut_vector import tune_cluster
+    from repro.util.rng import stable_seed
+
+    if problem is None:
+        problem = build_problem(
+            request.problem,
+            request.dataset,
+            request.scale,
+            n_devices=request.n_devices,
+            interconnect=request.interconnect,
+        )
+    result = tune_cluster(
+        problem,
+        sample_size=request.sample_size,
+        rng=stable_seed(request.seed, "serve-cluster", request.dataset),
+    )
+    phase2_ms = float(result.value_ms)
+    total = result.tuning_cost_ms + phase2_ms
+    overhead = 100.0 * result.tuning_cost_ms / total if total > 0 else 0.0
+    return TuneResponse(
+        problem=request.problem,
+        dataset=request.dataset,
+        scale=request.scale,
+        seed=request.seed,
+        threshold=float(result.thresholds[0]),
+        thresholds=tuple(float(t) for t in result.thresholds),
+        phase2_ms=phase2_ms,
+        estimation_ms=float(result.tuning_cost_ms),
+        overhead_percent=float(overhead),
+        n_evaluations=int(result.n_evaluations),
+        search_name="CoordinateDescent",
     )

@@ -367,7 +367,13 @@ class TuningServer:
         key = request.problem_key()
         problem = self._problems.get(key)
         if problem is None:
-            problem = build_problem(request.problem, request.dataset, request.scale)
+            problem = build_problem(
+                request.problem,
+                request.dataset,
+                request.scale,
+                n_devices=request.n_devices,
+                interconnect=request.interconnect,
+            )
             self._problems[key] = problem
             while len(self._problems) > 64:
                 self._problems.popitem(last=False)

@@ -65,6 +65,16 @@ class TestApiSurface:
             "lint_paths",
             "SearchResult",
             "TunedPartition",
+            # N-device clusters (PR 8)
+            "ClusterSpec",
+            "Interconnect",
+            "cluster_testbed",
+            "MultiwayCcProblem",
+            "MultiwaySpmmProblem",
+            "CutVectorResult",
+            "ClusterTuneResult",
+            "cluster_oracle",
+            "tune_cluster",
         ):
             assert name in repro.__all__, f"{name} not promoted to repro.__all__"
             assert hasattr(repro, name)
@@ -121,6 +131,27 @@ class TestApiSurface:
         for cls in (OracleResult, BaselineComparison):
             assert hasattr(cls, "to_record") and hasattr(cls, "from_record")
 
+        # The cluster types follow the same record contract (round trips
+        # themselves are pinned in tests/test_platform_cluster.py).
+        from repro import (
+            ClusterSpec,
+            ClusterTuneResult,
+            CutVectorResult,
+            DeviceSpec,
+            Interconnect,
+            PcieLink,
+        )
+
+        for cls in (
+            ClusterSpec,
+            Interconnect,
+            DeviceSpec,
+            PcieLink,
+            CutVectorResult,
+            ClusterTuneResult,
+        ):
+            assert hasattr(cls, "to_record") and hasattr(cls, "from_record")
+
     def test_keyword_only_constructors(self):
         import pytest
 
@@ -133,6 +164,13 @@ class TestApiSurface:
             ExperimentConfig(0.5)
         with pytest.raises(TypeError):
             Engine(2)
+
+        from repro import ClusterSpec, Interconnect
+
+        with pytest.raises(TypeError):
+            ClusterSpec((), ())
+        with pytest.raises(TypeError):
+            Interconnect(())
 
     def test_deprecated_platform_trace_shim(self):
         import warnings

@@ -77,7 +77,7 @@ class TestRegistry:
             "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
             "table1", "table2",
             "ablation-cc-sampling", "ablation-hh-sampling", "ablation-dynamic",
-            "ablation-spmm-sampling", "ext-multiway",
+            "ablation-spmm-sampling", "ext-multiway", "ext-cluster",
         }
 
 

@@ -9,6 +9,7 @@ from repro.experiments import (
     ExperimentConfig,
     ablation_cc_sampling,
     ablation_hh_sampling,
+    ext_cluster,
     ext_multiway,
 )
 
@@ -56,9 +57,31 @@ class TestExtMultiway:
         assert report.metrics["avg_slowdown"] < 20.0
 
 
+class TestExtCluster:
+    def test_clusters_scale_and_stay_balanced(self):
+        cfg = ExperimentConfig(
+            scale=1 / 64, seed=5, datasets=("germany_osm", "cant")
+        )
+        report = ext_cluster.run(cfg)
+        m = report.metrics
+        # Growing the cluster keeps paying off...
+        assert m["avg_speedup_p8_vs_p2"] > 1.5
+        # ...and the sampled vectors stay near the oracle's makespan.
+        assert m["avg_slowdown"] < 25.0
+        # Every (dataset, p) row executed and reported its balance.
+        for p in (2, 3, 4, 8):
+            assert m[f"cluster-cc_germany_osm_p{p}_imbalance"] >= 0.0
+            assert m[f"cluster-spmm_cant_p{p}_imbalance"] >= 0.0
+
+
 class TestRegistryAndCsv:
     def test_new_experiments_registered(self):
-        for key in ("ablation-cc-sampling", "ablation-hh-sampling", "ext-multiway"):
+        for key in (
+            "ablation-cc-sampling",
+            "ablation-hh-sampling",
+            "ext-multiway",
+            "ext-cluster",
+        ):
             assert key in REGISTRY
 
     def test_csv_export_round_trips(self, tmp_path):

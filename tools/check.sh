@@ -42,5 +42,10 @@ echo "== chaos tests (fault injection) =="
 python -m pytest -x -q tests/test_engine_faults.py
 
 echo
+echo "== cluster experiments (docs/CLUSTER.md) =="
+python -m pytest -x -q tests/test_platform_cluster.py
+python -m repro.experiments ext-cluster --scale 0.02 --no-cache
+
+echo
 echo "== tier-1 tests =="
 python -m pytest -x -q
