@@ -62,6 +62,18 @@ Rules
     the two sanctioned scalar loops (the ``evaluate_grid`` fallback
     itself and the oracle pool worker's chunk loop) carry line
     suppressions.
+``PERF002``
+    No scalar ``Timeline`` recording (``tl.run(...)`` / ``tl.overlap(...)``
+    / ``tl.record(...)``) inside a loop (or comprehension) in
+    ``repro/hetero``.  Per-chunk scalar appends are exactly the pattern
+    the columnar timeline's batch APIs replace: collect the spans and
+    make one :meth:`~repro.platform.timeline.Timeline.run_many` /
+    :meth:`~repro.platform.timeline.Timeline.overlap_many` /
+    :meth:`~repro.platform.timeline.Timeline.record_many` call instead
+    (see docs/PERFORMANCE.md).  The receiver is recognized by name
+    (``tl`` / ``timeline`` / ``*.timeline``); loops where a scalar call
+    is intentional (e.g. data-dependent placement that consumes the
+    cursor between appends) carry line suppressions saying why.
 ``ENG001``
     No swallowed broad exception handlers (``except Exception`` /
     ``except BaseException`` / bare ``except``) inside ``repro/engine``:
@@ -100,6 +112,7 @@ RULES: dict[str, str] = {
     "API001": "public name in a repro package __init__ missing from __all__",
     "API002": "deprecated n_gpus= Multiway*Problem construction outside repro/hetero",
     "PERF001": "scalar evaluate_ms probe inside a loop over a threshold grid",
+    "PERF002": "scalar Timeline run/overlap/record inside a loop in repro/hetero",
     "ENG001": "broad except in repro/engine that neither re-raises nor records",
     "SYN001": "file does not parse",
 }
@@ -114,6 +127,21 @@ FLT_SCOPES = ("repro/core", "repro/platform")
 #: that hold searches/oracles and the experiment drivers — the places a
 #: stray scalar loop silently forfeits the batched-pricing fast path.
 PERF_SCOPES = ("repro/core", "repro/experiments")
+
+#: Directories where scalar Timeline appends in loops are flagged
+#: (PERF002): the hetero kernels, whose pipelines record enough spans for
+#: per-chunk ``tl.run``/``tl.overlap`` loops to show up in profiles — the
+#: columnar batch APIs (``run_many``/``overlap_many``/``record_many``)
+#: are the sanctioned shape.
+PERF_TIMELINE_SCOPES = ("repro/hetero",)
+
+#: Receiver names PERF002 treats as a Timeline: bare ``tl``/``timeline``
+#: or any ``*.timeline`` attribute.  Name-based on purpose — the linter
+#: is untyped, and these are the repo's only timeline spellings.
+_TIMELINE_RECEIVERS = frozenset({"tl", "timeline"})
+
+#: Scalar Timeline append methods with batch counterparts.
+_SCALAR_TIMELINE_METHODS = frozenset({"run", "overlap", "record"})
 
 #: Directories where swallowed broad excepts are flagged (ENG001): the
 #: fault-tolerant execution layer, whose whole contract is that failures
@@ -263,6 +291,20 @@ def _is_grid_iterable(node: ast.expr) -> bool:
     return False
 
 
+def _is_timeline_receiver(node: ast.expr) -> bool:
+    """Whether a call receiver syntactically names a Timeline (PERF002).
+
+    Matches the repo's timeline spellings — ``tl``, ``timeline``, or any
+    ``something.timeline`` attribute — and nothing else, so unrelated
+    ``problem.run(...)`` / ``pool.run(...)`` calls never trip the rule.
+    """
+    if isinstance(node, ast.Name):
+        return node.id in _TIMELINE_RECEIVERS
+    if isinstance(node, ast.Attribute):
+        return node.attr in _TIMELINE_RECEIVERS
+    return False
+
+
 class _Linter(ast.NodeVisitor):
     def __init__(self, path: str) -> None:
         self.path = path
@@ -276,9 +318,15 @@ class _Linter(ast.NodeVisitor):
         self.in_sim_scope = any(f"{s}/" in posix or posix.endswith(s) for s in SIM_SCOPES)
         self.in_flt_scope = any(f"{s}/" in posix or posix.endswith(s) for s in FLT_SCOPES)
         self.in_perf_scope = any(f"{s}/" in posix or posix.endswith(s) for s in PERF_SCOPES)
+        self.in_timeline_perf_scope = any(
+            f"{s}/" in posix or posix.endswith(s) for s in PERF_TIMELINE_SCOPES
+        )
         #: How many enclosing for-loops/comprehensions iterate a grid
         #: (PERF001 fires on evaluate_ms calls while this is positive).
         self._grid_loop_depth = 0
+        #: How many enclosing loops of any kind surround the current node
+        #: (PERF002 fires on scalar timeline appends while this is positive).
+        self._plain_loop_depth = 0
         #: Dotted package name when this file is a repro package __init__
         #: (e.g. ``repro.obs`` for ``src/repro/obs/__init__.py``), else None.
         self.package: str | None = None
@@ -489,17 +537,38 @@ class _Linter(ast.NodeVisitor):
                 "price the whole grid in one pass via "
                 "repro.core.problem.evaluate_grid (docs/PERFORMANCE.md)",
             )
+        if (
+            self._plain_loop_depth > 0
+            and self.in_timeline_perf_scope
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SCALAR_TIMELINE_METHODS
+            and _is_timeline_receiver(node.func.value)
+        ):
+            self._add(
+                "PERF002",
+                node,
+                f"scalar Timeline.{node.func.attr} inside a loop; collect "
+                f"the spans and make one {node.func.attr}_many call "
+                "(docs/PERFORMANCE.md)",
+            )
         self.generic_visit(node)
 
-    # -- grid loops (PERF001) ----------------------------------------------
+    # -- loops (PERF001 / PERF002) -----------------------------------------
 
     def visit_For(self, node: ast.For) -> None:
         entered = self.in_perf_scope and _is_grid_iterable(node.iter)
         if entered:
             self._grid_loop_depth += 1
+        self._plain_loop_depth += 1
         self.generic_visit(node)
+        self._plain_loop_depth -= 1
         if entered:
             self._grid_loop_depth -= 1
+
+    def visit_While(self, node: ast.While) -> None:
+        self._plain_loop_depth += 1
+        self.generic_visit(node)
+        self._plain_loop_depth -= 1
 
     def _visit_comprehension(self, node: ast.expr) -> None:
         entered = self.in_perf_scope and any(
@@ -507,7 +576,9 @@ class _Linter(ast.NodeVisitor):
         )
         if entered:
             self._grid_loop_depth += 1
+        self._plain_loop_depth += 1
         self.generic_visit(node)
+        self._plain_loop_depth -= 1
         if entered:
             self._grid_loop_depth -= 1
 

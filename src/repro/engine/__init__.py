@@ -19,6 +19,10 @@ The experiment harness's scaling layer (docs/ENGINE.md):
   scenarios (crash/hang/corrupt-result, corrupt/torn cache stores,
   crashed/torn obs trace exports) that replay deterministically
   (docs/ENGINE.md §Fault tolerance).
+* :mod:`repro.engine.shm` — zero-copy shared-memory transport: large CSR
+  datasets ship to pool workers as :class:`~repro.engine.shm.ShmHandle`
+  references into ``multiprocessing.shared_memory`` segments instead of
+  per-task pickled copies (docs/PERFORMANCE.md).
 """
 
 from repro.engine.cache import (
@@ -47,6 +51,7 @@ from repro.engine.faults import (
 from repro.engine.locks import ShardLock
 from repro.engine.parallel import ParallelMap, chunked
 from repro.engine.sharded import ShardedResultCache
+from repro.engine.shm import ShmHandle, ShmSession, shm_enabled
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -63,11 +68,14 @@ __all__ = [
     "ResultCache",
     "ShardLock",
     "ShardedResultCache",
+    "ShmHandle",
+    "ShmSession",
     "aggregate_stats",
     "arm_synth_faults",
     "chunked",
     "code_version_salt",
     "fingerprint",
     "get_engine",
+    "shm_enabled",
     "shutdown_engines",
 ]

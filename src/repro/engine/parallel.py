@@ -65,6 +65,7 @@ from repro.engine.faults import (
     PoisonTaskError,
     apply_task_faults,
 )
+from repro.engine.shm import ShmPayload, ShmSession, shm_enabled
 from repro.obs import runtime as _obs
 from repro.util.rng import stable_seed
 
@@ -106,6 +107,10 @@ def _pool_task(packed: tuple) -> tuple:
         )
         if marker is not None:
             return marker, None, None, 0.0
+    if isinstance(payload, ShmPayload):
+        # Zero-copy rehydration: embedded CSR handles reattach to the
+        # parent's shared-memory segments (cached per worker).
+        payload = payload.load()
     start_s = time.perf_counter()  # reprolint: disable=DET001 -- wall-clock obs span; wall_ms is telemetry, never merged into results
     records = snapshot = None
     if observe:
@@ -225,6 +230,7 @@ class ParallelMap:
         self.seed = seed
         self.fault_plan = fault_plan
         self._executor = None
+        self._shm_session: ShmSession | None = None
         self._pool_broken = False
         self._fallback_reason: str | None = None
         self._fallback_warned = False
@@ -286,6 +292,21 @@ class ParallelMap:
                 return None
         return self._executor
 
+    def _shm(self) -> ShmSession | None:
+        """The shared-memory export session for pooled payload transport.
+
+        Created on first pooled use; ``None`` when the host lacks POSIX
+        shared memory or ``REPRO_SHM=0`` opts out.  Deliberately *not*
+        torn down by :meth:`_kill_pool`: segments must survive pool
+        restarts so retried tasks can reattach; only :meth:`close` (or
+        interpreter exit) unlinks them.
+        """
+        if not shm_enabled():
+            return None
+        if self._shm_session is None:
+            self._shm_session = ShmSession()
+        return self._shm_session
+
     def _kill_pool(self) -> None:
         """Tear the executor down without waiting on wedged workers."""
         executor, self._executor = self._executor, None
@@ -299,10 +320,17 @@ class ParallelMap:
         executor.shutdown(wait=False, cancel_futures=True)
 
     def close(self) -> None:
-        """Shut the worker pool down (no-op for the serial backend)."""
+        """Shut the worker pool down (no-op for the serial backend).
+
+        Workers stop before the shared-memory segments are unlinked, so
+        no attach can race the teardown.
+        """
         if self._executor is not None:
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
+        if self._shm_session is not None:
+            self._shm_session.close()
+            self._shm_session = None
 
     # -- retry pacing ------------------------------------------------------
 
@@ -550,13 +578,24 @@ class _MapRun:
         plan = pmap.fault_plan
         observe = _obs.enabled()
         broken_types = _broken_pool_errors()
+        session = pmap._shm()
         futures: dict = {}
         submitted_s: dict = {}
         uncovered: list[int] = []
         broken = False
         for position, i in enumerate(indices):
+            wire = self.payloads[i]
+            if session is not None:
+                try:
+                    blob, used_shm = session.dumps(wire)
+                except OSError:
+                    # /dev/shm exhausted or unavailable: inline pickling
+                    # still works, only the zero-copy win is lost.
+                    used_shm = False
+                if used_shm:
+                    wire = ShmPayload(blob)
             packed = (
-                self.fn, self.payloads[i], self.op, i, self.attempts[i], plan, observe,
+                self.fn, wire, self.op, i, self.attempts[i], plan, observe,
             )
             try:
                 future = executor.submit(_pool_task, packed)

@@ -1,0 +1,272 @@
+"""Zero-copy shared-memory transport for CSR payloads.
+
+Every pooled :meth:`~repro.engine.parallel.ParallelMap.map` call pickles its
+payloads into the workers.  For the oracle and experiment fan-outs those
+payloads embed full :class:`~repro.sparse.csr.CsrMatrix` datasets, so each
+submit used to re-serialize megabytes of ``indptr``/``indices``/``data``
+per task — the dominant fan-out cost once the kernels themselves are
+vectorized.  This module ships them once instead:
+
+* the parent exports each large matrix into one
+  :class:`multiprocessing.shared_memory.SharedMemory` segment (three arrays
+  packed back to back) and pickles only a tiny :class:`ShmHandle`;
+* workers reattach by name and rebuild the matrix as **read-only zero-copy
+  views** over the segment (an attach cache makes this once per worker per
+  segment, and the rebuilt matrix re-validates its CSR invariants, so a
+  corrupted transport fails loudly);
+* a per-session registry guarantees the segments are unlinked exactly once,
+  by the owning process — on :meth:`ShmSession.close`, engine shutdown, or
+  interpreter exit — regardless of pool restarts, poison-task quarantine,
+  or FaultPlan-injected worker crashes.  Worker death never unlinks
+  anything: forked workers share the parent's resource tracker, and the
+  owner-pid guard makes inherited sessions inert in children.
+
+Determinism: the worker-side matrix is byte-for-byte the parent's matrix
+(same dtypes, same bytes, views instead of copies), so shm-backed pooled
+runs stay bit-identical to serial runs.  The serial retry/fallback path
+never touches handles — it consumes the parent's original payload objects.
+"""
+
+from __future__ import annotations
+
+import atexit
+import io
+import os
+import pickle
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.csr import CsrMatrix
+
+#: Matrices smaller than this (total CSR bytes) pickle inline: a segment
+#: per tiny matrix would cost more in shm_open/mmap churn than it saves.
+SHM_MIN_BYTES = 1 << 16
+
+#: Upper bound on live segments per session; exporting past it evicts the
+#: oldest segment (a task still holding its handle simply re-exports on
+#: retry, so eviction is safe, just wasteful — the bound exists to keep
+#: pathological many-matrix sessions from exhausting ``/dev/shm``).
+SHM_MAX_SEGMENTS = 64
+
+_ENV_DISABLE = "REPRO_SHM"
+
+
+def shm_enabled() -> bool:
+    """Whether shared-memory transport is available and not opted out.
+
+    ``REPRO_SHM=0`` (or ``off``/``false``) disables it; hosts without
+    working POSIX shared memory disable themselves.
+    """
+    if os.environ.get(_ENV_DISABLE, "").strip().lower() in {"0", "off", "false"}:  # reprolint: disable=DET001 -- transport opt-out switch; shm on/off changes how bytes travel, never which bytes
+        return False
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - exotic hosts
+        return False
+    return True
+
+
+@dataclass(frozen=True)
+class ShmHandle:
+    """Pickled stand-in for one exported :class:`CsrMatrix`.
+
+    Carries everything a worker needs to rebuild the matrix over the
+    segment: the segment name, the matrix shape, and the element counts of
+    the three packed arrays (dtypes are the CSR module's fixed
+    ``int64``/``int64``/``float64``).
+    """
+
+    name: str
+    shape: tuple[int, int]
+    n_indptr: int
+    n_indices: int
+    n_data: int
+
+
+def _pack_layout(handle: ShmHandle) -> tuple[int, int, int]:
+    """Byte offsets of (indptr, indices, data) inside the segment."""
+    indptr_end = handle.n_indptr * 8
+    indices_end = indptr_end + handle.n_indices * 8
+    return 0, indptr_end, indices_end
+
+
+class ShmSession:
+    """Parent-side registry of exported segments for one ``ParallelMap``.
+
+    Owns every segment it creates: :meth:`close` unlinks them all, and the
+    module-level atexit hook closes any session the caller forgot.  The
+    export cache is keyed by matrix identity (holding a reference so ids
+    cannot be recycled), so repeated maps over the same datasets reuse one
+    segment per matrix across pool restarts and retries.
+    """
+
+    def __init__(self) -> None:
+        self._owner_pid = os.getpid()  # reprolint: disable=DET001 -- unlink-ownership guard; the pid gates cleanup in forked children, never a computed result
+        #: id(matrix) -> (matrix, ShmHandle); insertion order = export age.
+        self._exports: dict[int, tuple[CsrMatrix, ShmHandle]] = {}
+        #: segment name -> SharedMemory (kept alive until close/evict).
+        self._segments: dict = {}
+        self.exported_segments = 0
+        self.exported_bytes = 0
+        _SESSIONS.append(self)
+
+    # -- export ------------------------------------------------------------
+
+    def maybe_export(self, matrix: CsrMatrix) -> ShmHandle | None:
+        """Export *matrix* (cached); ``None`` when inline pickling is better."""
+        nbytes = matrix.memory_bytes()
+        if nbytes < SHM_MIN_BYTES:
+            return None
+        cached = self._exports.get(id(matrix))
+        if cached is not None:
+            return cached[1]
+        from multiprocessing import shared_memory
+
+        if len(self._exports) >= SHM_MAX_SEGMENTS:
+            oldest = next(iter(self._exports))
+            self._evict(oldest)
+        segment = shared_memory.SharedMemory(create=True, size=max(1, nbytes))
+        handle = ShmHandle(
+            name=segment.name,
+            shape=matrix.shape,
+            n_indptr=matrix.indptr.size,
+            n_indices=matrix.indices.size,
+            n_data=matrix.data.size,
+        )
+        off_indptr, off_indices, off_data = _pack_layout(handle)
+        buf = segment.buf
+        np.frombuffer(buf, dtype=np.int64, count=handle.n_indptr, offset=off_indptr)[
+            :
+        ] = matrix.indptr
+        np.frombuffer(buf, dtype=np.int64, count=handle.n_indices, offset=off_indices)[
+            :
+        ] = matrix.indices
+        np.frombuffer(buf, dtype=np.float64, count=handle.n_data, offset=off_data)[
+            :
+        ] = matrix.data
+        self._exports[id(matrix)] = (matrix, handle)
+        self._segments[handle.name] = segment
+        self.exported_segments += 1
+        self.exported_bytes += nbytes
+        return handle
+
+    def dumps(self, obj) -> tuple[bytes, bool]:
+        """Pickle *obj* with every large embedded ``CsrMatrix`` as a handle.
+
+        Returns ``(blob, used_shm)`` — callers skip the wire wrapper when
+        nothing was exported, so small payloads pay no double-pickle.
+        """
+        out = io.BytesIO()
+        pickler = _ShmPickler(out, self)
+        pickler.dump(obj)
+        return out.getvalue(), pickler.used_shm
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _evict(self, matrix_id: int) -> None:
+        _, handle = self._exports.pop(matrix_id)
+        segment = self._segments.pop(handle.name, None)
+        if segment is not None:
+            _destroy_segment(segment)
+
+    @property
+    def live_segments(self) -> int:
+        return len(self._segments)
+
+    def close(self) -> None:
+        """Unlink every owned segment.  Safe to call repeatedly.
+
+        A no-op in forked children: only the creating process may unlink,
+        otherwise a dying worker would tear segments out from under its
+        siblings.
+        """
+        if os.getpid() != self._owner_pid:
+            return
+        segments, self._segments = self._segments, {}
+        self._exports.clear()
+        for segment in segments.values():
+            _destroy_segment(segment)
+
+
+def _destroy_segment(segment) -> None:
+    try:
+        segment.close()
+    except (OSError, BufferError):  # pragma: no cover - platform quirks
+        pass
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - already gone
+        pass
+    except OSError:  # pragma: no cover - platform quirks
+        pass
+
+
+#: Every live session, closed at interpreter exit as a last resort.
+_SESSIONS: list[ShmSession] = []
+
+
+def _close_all_sessions() -> None:
+    for session in _SESSIONS:
+        session.close()
+
+
+atexit.register(_close_all_sessions)
+
+
+class _ShmPickler(pickle.Pickler):
+    """Pickler that swaps large ``CsrMatrix`` instances for handles."""
+
+    def __init__(self, file, session: ShmSession) -> None:
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._session = session
+        self.used_shm = False
+
+    def reducer_override(self, obj):
+        if type(obj) is CsrMatrix:
+            handle = self._session.maybe_export(obj)
+            if handle is not None:
+                self.used_shm = True
+                return (attach_matrix, (handle,))
+        return NotImplemented
+
+
+class ShmPayload:
+    """Wire form of one task payload: a blob whose matrices are handles."""
+
+    __slots__ = ("blob",)
+
+    def __init__(self, blob: bytes) -> None:
+        self.blob = blob
+
+    def load(self):
+        return pickle.loads(self.blob)
+
+
+#: Worker-side attach cache: segment name -> (SharedMemory, CsrMatrix).
+#: The SharedMemory object must outlive the views built over it, so both
+#: live here for the rest of the worker's life.  A crashed/killed worker
+#: releases its mappings to the OS; the parent still owns the unlink.
+_ATTACHED: dict[str, tuple] = {}
+
+
+def attach_matrix(handle: ShmHandle) -> CsrMatrix:
+    """Rebuild the matrix behind *handle* as read-only zero-copy views."""
+    cached = _ATTACHED.get(handle.name)
+    if cached is not None:
+        return cached[1]
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name=handle.name, create=False)
+    off_indptr, off_indices, off_data = _pack_layout(handle)
+    buf = segment.buf
+    indptr = np.frombuffer(buf, dtype=np.int64, count=handle.n_indptr, offset=off_indptr)
+    indices = np.frombuffer(
+        buf, dtype=np.int64, count=handle.n_indices, offset=off_indices
+    )
+    data = np.frombuffer(buf, dtype=np.float64, count=handle.n_data, offset=off_data)
+    for arr in (indptr, indices, data):
+        arr.flags.writeable = False
+    matrix = CsrMatrix(indptr, indices, data, handle.shape)
+    _ATTACHED[handle.name] = (segment, matrix)
+    return matrix

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.hetero.spmm import SpmmProblem, _BYTES_PER_NNZ
 from repro.platform.costmodel import PROFILE_SPGEMM, effective_rate_per_ms
 from repro.platform.timeline import Timeline
@@ -88,6 +90,13 @@ def simulate_dynamic_spmm(
     dispatcher = 0.0
     cpu_chunks = 0
     gpu_chunks = 0
+    # The greedy placement is inherently sequential (each decision depends
+    # on the device-free times the previous one produced), but recording is
+    # not: placements accumulate here and land in one ``record_many``.
+    resources: list[str] = []
+    labels: list[str] = []
+    starts: list[float] = []
+    costs: list[float] = []
     for lo, hi in zip(bounds[:-1], bounds[1:]):
         dispatcher += dispatch_cost
         flops = float(flop_prefix[hi] - flop_prefix[lo])
@@ -103,13 +112,24 @@ def simulate_dynamic_spmm(
         cpu_start = max(cpu_free, dispatcher)
         gpu_start = max(gpu_free, dispatcher)
         if cpu_start + cpu_cost <= gpu_start + gpu_cost:
-            tl.record("cpu", f"chunk[{lo}:{hi}]", cpu_start, cpu_cost)
+            resources.append("cpu")
+            starts.append(cpu_start)
+            costs.append(cpu_cost)
             cpu_free = cpu_start + cpu_cost
             cpu_chunks += 1
         else:
-            tl.record("gpu", f"chunk[{lo}:{hi}]", gpu_start, gpu_cost)
+            resources.append("gpu")
+            starts.append(gpu_start)
+            costs.append(gpu_cost)
             gpu_free = gpu_start + gpu_cost
             gpu_chunks += 1
+        labels.append(f"chunk[{lo}:{hi}]")
+    tl.record_many(
+        resources,
+        labels,
+        np.asarray(starts, dtype=np.float64),
+        np.asarray(costs, dtype=np.float64),
+    )
     return DynamicScheduleResult(
         chunk_rows=chunk_rows,
         total_ms=max(cpu_free, gpu_free),

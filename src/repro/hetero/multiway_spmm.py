@@ -188,8 +188,8 @@ class MultiwaySpmmProblem:
                 )
             )
         if ic.topology == "shared":
-            for resource, label, ms in transfers:
-                tl.run(resource, label, ms)
+            # Serialized on the one shared link: one batched sequential append.
+            tl.run_many(transfers)
         elif transfers:
             tl.overlap(transfers)
         return tl

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.platform.timeline import Span, Timeline
 from repro.util.errors import ValidationError
 
@@ -41,18 +43,21 @@ class ResourceUtilization:
         return self.busy_ms / self.makespan_ms if self.makespan_ms else 0.0
 
 
-def _merged_busy_ms(spans: list[Span]) -> float:
-    """Total covered time of *spans*, counting overlapped stretches once."""
-    intervals = sorted((s.start_ms, s.end_ms) for s in spans)
-    busy_ms = 0.0
-    cur_start, cur_end = intervals[0]
-    for start_ms, end_ms in intervals[1:]:
-        if start_ms > cur_end:
-            busy_ms += cur_end - cur_start
-            cur_start, cur_end = start_ms, end_ms
-        else:
-            cur_end = max(cur_end, end_ms)
-    return busy_ms + (cur_end - cur_start)
+def _merged_busy_ms(starts: np.ndarray, ends: np.ndarray) -> float:
+    """Total covered time of the intervals, counting overlapped stretches once.
+
+    Interval-union sweep, vectorized: sort by ``(start, end)``, track the
+    running segment end with a cumulative max, and open a new segment
+    wherever the next start clears it.
+    """
+    order = np.lexsort((ends, starts))
+    s = starts[order]
+    run_end = np.maximum.accumulate(ends[order])
+    new_seg = np.empty(s.size, dtype=bool)
+    new_seg[0] = True
+    new_seg[1:] = s[1:] > run_end[:-1]
+    seg_last = np.flatnonzero(np.concatenate((new_seg[1:], [True])))
+    return float(np.sum(run_end[seg_last] - s[new_seg]))
 
 
 def utilization(timeline: Timeline) -> dict[str, ResourceUtilization]:
@@ -61,18 +66,22 @@ def utilization(timeline: Timeline) -> dict[str, ResourceUtilization]:
     Busy time is measured on merged intervals, so spans that overlap on one
     resource (a hazard, but one hand-built traces can contain) count each
     covered instant once — a resource can never exceed 100% utilization.
+    Works on the timeline's columnar view: no ``Span`` objects are built.
     """
     makespan_ms = timeline.total_ms
+    cols = timeline.columns()
+    ends = cols.ends
     out: dict[str, ResourceUtilization] = {}
-    by_resource: dict[str, list[Span]] = {}
-    for span in timeline.spans:
-        by_resource.setdefault(span.resource, []).append(span)
-    for resource, spans in by_resource.items():
+    for code, resource in enumerate(cols.resource_pool):
+        mask = cols.resources == code
+        n_spans = int(np.count_nonzero(mask))
+        if n_spans == 0:
+            continue
         out[resource] = ResourceUtilization(
             resource=resource,
-            busy_ms=_merged_busy_ms(spans),
+            busy_ms=_merged_busy_ms(cols.starts[mask], ends[mask]),
             makespan_ms=makespan_ms,
-            n_spans=len(spans),
+            n_spans=n_spans,
         )
     return out
 

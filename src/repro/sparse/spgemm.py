@@ -60,12 +60,74 @@ def total_flops(a: CsrMatrix, b: CsrMatrix) -> float:
     return float(row_flops(a, b).sum())
 
 
+# The bucketed fold walks a dense accumulator of n_cols cells per row; it
+# only pays off when the expansion stream roughly fills those cells.  Below
+# this expansion-to-cells ratio the lexsort fold in ``from_coo`` wins.
+_FOLD_DENSITY_CUTOFF = 8
+# Dense-accumulator budget per row block (cells, not bytes): bounds peak
+# memory of the fold at ~3 arrays of this many elements.
+_FOLD_BLOCK_CELLS = 1 << 22
+
+
+def _bucket_fold(
+    exp_ptr: np.ndarray,
+    out_cols: np.ndarray,
+    out_vals: np.ndarray,
+    shape: tuple[int, int],
+) -> CsrMatrix:
+    """Fold an expansion stream (already grouped by row) without sorting.
+
+    ``exp_ptr[r]`` bounds row *r*'s slice of ``out_cols``/``out_vals`` — the
+    stream ``np.repeat`` produces is non-decreasing in row, so no lexsort is
+    needed: each row block scatters into a dense ``rows_in_block x n_cols``
+    accumulator via ``np.bincount``.  Weighted bincount adds duplicates in
+    input order — the same left-fold ``np.add.at`` performs after the stable
+    lexsort in :func:`from_coo` — so the result is bit-identical to that
+    path.  Unweighted counts supply the structural pattern, which keeps
+    explicit zeros exactly as ``from_coo`` does.
+    """
+    n_rows, n_cols = shape
+    block_rows = max(1, _FOLD_BLOCK_CELLS // max(n_cols, 1))
+    row_exp = np.diff(exp_ptr)
+    cols_parts: list[np.ndarray] = []
+    vals_parts: list[np.ndarray] = []
+    row_counts = np.zeros(n_rows, dtype=_INDEX)
+    for r0 in range(0, n_rows, block_rows):
+        r1 = min(r0 + block_rows, n_rows)
+        lo, hi = int(exp_ptr[r0]), int(exp_ptr[r1])
+        if lo == hi:
+            continue
+        local = np.repeat(np.arange(r1 - r0, dtype=_INDEX), row_exp[r0:r1])
+        key = local * n_cols + out_cols[lo:hi]
+        cells = (r1 - r0) * n_cols
+        hits = np.bincount(key, minlength=cells)
+        sums = np.bincount(key, weights=out_vals[lo:hi], minlength=cells)
+        nz = np.flatnonzero(hits)
+        cols_parts.append(nz % n_cols)
+        vals_parts.append(sums[nz])
+        row_counts[r0:r1] = np.bincount(nz // n_cols, minlength=r1 - r0)
+    indices = (
+        np.concatenate(cols_parts) if cols_parts else np.empty(0, dtype=_INDEX)
+    )
+    data = (
+        np.concatenate(vals_parts) if vals_parts else np.empty(0, dtype=np.float64)
+    )
+    indptr = np.concatenate(([0], np.cumsum(row_counts)))
+    return CsrMatrix(indptr, indices, data, shape)
+
+
 def spgemm(a: CsrMatrix, b: CsrMatrix) -> CsrMatrix:
     """Numeric product ``C = A x B`` via vectorized Gustavson expansion.
 
     Memory use is proportional to the multiply count (``sum(load_vector)``),
     the same intermediate size a hash-based Gustavson would stream through;
     suitable for the scaled experiment instances and all tests.
+
+    Dense expansion streams (banded operands, where overlapping bands make
+    the per-row expansion comparable to ``n_cols``) skip the ``from_coo``
+    lexsort entirely and fold through :func:`_bucket_fold`; sparse streams
+    (rmat/uniform) keep the sort-based fold.  Both paths produce
+    bit-identical matrices.
     """
     _check_compatible(a, b)
     if a.nnz == 0 or b.nnz == 0:
@@ -79,12 +141,27 @@ def spgemm(a: CsrMatrix, b: CsrMatrix) -> CsrMatrix:
     # Per A-nonzero: how many products it expands into (the nnz of B's row
     # selected by the A-nonzero's column).
     expand_counts = b_row_nnz[a.indices]
-    a_rows = np.repeat(np.arange(a.n_rows, dtype=_INDEX), a.row_nnz())
-    out_rows = np.repeat(a_rows, expand_counts)
+    cum_exp = np.concatenate(([0], np.cumsum(expand_counts)))
+    total = int(cum_exp[-1])
+    shape = (a.n_rows, b.n_cols)
+    if total == 0:
+        return from_coo(
+            np.empty(0, dtype=_INDEX),
+            np.empty(0, dtype=_INDEX),
+            np.empty(0, dtype=np.float64),
+            shape,
+        )
     gather = _ranges_gather(b.indptr[a.indices], expand_counts)
     out_cols = b.indices[gather]
     out_vals = np.repeat(a.data, expand_counts) * b.data[gather]
-    return from_coo(out_rows, out_cols, out_vals, (a.n_rows, b.n_cols))
+    if a.n_rows * b.n_cols <= _FOLD_DENSITY_CUTOFF * total:
+        # exp_ptr[r] = first expansion entry of row r (a.indptr indexes the
+        # per-nonzero prefix sums).
+        exp_ptr = cum_exp[a.indptr]
+        return _bucket_fold(exp_ptr, out_cols, out_vals, shape)
+    a_rows = np.repeat(np.arange(a.n_rows, dtype=_INDEX), a.row_nnz())
+    out_rows = np.repeat(a_rows, expand_counts)
+    return from_coo(out_rows, out_cols, out_vals, shape)
 
 
 def spgemm_dense_reference(a: CsrMatrix, b: CsrMatrix) -> np.ndarray:
@@ -124,11 +201,12 @@ def estimate_compression(
     rows = rng.choice(candidates, size=k, replace=False)
     sampled_mults = 0.0
     sampled_nnz = 0.0
+    b_row_nnz = b.row_nnz()
     for i in rows:
         cols_a, _ = a.row(int(i))
         if cols_a.size == 0:
             continue
-        expand_counts = b.row_nnz()[cols_a]
+        expand_counts = b_row_nnz[cols_a]
         gather = _ranges_gather(b.indptr[cols_a], expand_counts)
         out_cols = b.indices[gather]
         sampled_mults += float(out_cols.size)

@@ -1,0 +1,290 @@
+"""Zero-copy shared-memory transport: export, attach, lifecycle, chaos.
+
+ISSUE 9 acceptance criteria, spelled out as tests:
+
+* Large CSR payloads ship to pool workers through
+  ``multiprocessing.shared_memory`` handles and come back **byte-identical**
+  to the serial run (same bytes in, same bytes out, zero copies in between).
+* The segment registry guarantees unlink-exactly-once: after
+  ``ParallelMap.close()`` — or interpreter exit — ``/dev/shm`` holds zero
+  leaked segments, across pool restarts, quarantine, and FaultPlan-injected
+  worker crashes/hangs mid-map.
+* Small payloads skip the transport (no per-tiny-matrix segment churn), and
+  ``REPRO_SHM=0`` opts out entirely.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine import FaultPlan, FaultSpec, ParallelMap, shm_enabled
+from repro.engine import shm as shm_mod
+from repro.engine.shm import SHM_MIN_BYTES, ShmSession, attach_matrix
+from repro.sparse.csr import CsrMatrix
+from repro.workloads.band import banded_matrix
+
+#: Fast retry pacing for tests (mirrors test_engine_faults.FAST).
+FAST = {"backoff_base_s": 0.01}
+
+
+def _large_matrix(rng: int = 7) -> CsrMatrix:
+    m = banded_matrix(800, 9.0, rng=rng)
+    assert m.memory_bytes() >= SHM_MIN_BYTES  # big enough to export
+    return m
+
+
+def _tiny_matrix() -> CsrMatrix:
+    m = banded_matrix(20, 2.0, rng=3)
+    assert m.memory_bytes() < SHM_MIN_BYTES
+    return m
+
+
+def _col_sums(payload):
+    """Module-level pool fn: deterministic reduction over a CSR payload."""
+    matrix, scale = payload
+    out = np.zeros(matrix.shape[1])
+    np.add.at(out, matrix.indices, matrix.data * scale)
+    return out
+
+
+def _same_results(serial, pooled) -> bool:
+    """Element-wise pickle equality.
+
+    Per element, not one dumps() of the whole list: values and dtypes must
+    match bit for bit, but the serial list shares one interned dtype
+    instance across elements (so pickle memoizes it) while pooled results
+    arrive from separate unpickles — a whole-list comparison would test
+    pickle's memo table, not the results.
+    """
+    import pickle as _pickle
+
+    return len(serial) == len(pooled) and all(
+        _pickle.dumps(a) == _pickle.dumps(b) for a, b in zip(serial, pooled)
+    )
+
+
+def _matrices_equal(a: CsrMatrix, b: CsrMatrix) -> bool:
+    return (
+        a.shape == b.shape
+        and np.array_equal(a.indptr, b.indptr)
+        and np.array_equal(a.indices, b.indices)
+        and a.data.tobytes() == b.data.tobytes()
+    )
+
+
+needs_shm = pytest.mark.skipif(
+    not shm_enabled(), reason="host lacks POSIX shared memory"
+)
+
+
+@pytest.fixture
+def clean_attach_cache():
+    """Detach same-process attaches in view-then-segment order.
+
+    Tests that call :func:`attach_matrix` in the parent populate the
+    worker-side cache; tearing it down naively frees the ``SharedMemory``
+    before the numpy views over it and trips ``BufferError`` in
+    ``__del__``.  Drop the matrix (and its views) first, then close.
+    """
+    yield
+    for name in list(shm_mod._ATTACHED):
+        segment, matrix = shm_mod._ATTACHED.pop(name)
+        del matrix
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - a view outlived the test
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Export / attach round trip
+
+
+@needs_shm
+class TestSessionExport:
+    def test_round_trip_is_byte_identical(self, clean_attach_cache):
+        session = ShmSession()
+        try:
+            matrix = _large_matrix()
+            handle = session.maybe_export(matrix)
+            assert handle is not None
+            rebuilt = attach_matrix(handle)
+            assert _matrices_equal(matrix, rebuilt)
+            # Zero-copy on the worker side: views, not owned buffers.
+            assert not rebuilt.data.flags.owndata
+            assert not rebuilt.data.flags.writeable
+        finally:
+            session.close()
+
+    def test_small_matrices_stay_inline(self):
+        session = ShmSession()
+        try:
+            assert session.maybe_export(_tiny_matrix()) is None
+            assert session.live_segments == 0
+        finally:
+            session.close()
+
+    def test_export_is_cached_per_matrix(self):
+        session = ShmSession()
+        try:
+            matrix = _large_matrix()
+            h1 = session.maybe_export(matrix)
+            h2 = session.maybe_export(matrix)
+            assert h1 is h2
+            assert session.live_segments == 1
+            assert session.exported_segments == 1
+        finally:
+            session.close()
+
+    def test_dumps_flags_only_real_exports(self, clean_attach_cache):
+        session = ShmSession()
+        try:
+            blob, used = session.dumps(("tiny", _tiny_matrix()))
+            assert not used
+            big = _large_matrix()
+            blob, used = session.dumps(("big", big))
+            assert used
+            label, rebuilt = pickle.loads(blob)
+            assert label == "big"
+            assert _matrices_equal(big, rebuilt)
+        finally:
+            session.close()
+
+    def test_eviction_bounds_live_segments(self, monkeypatch):
+        monkeypatch.setattr(shm_mod, "SHM_MAX_SEGMENTS", 2)
+        session = ShmSession()
+        try:
+            for rng in (1, 2, 3):
+                assert session.maybe_export(_large_matrix(rng)) is not None
+            assert session.live_segments == 2
+        finally:
+            session.close()
+
+    def test_close_unlinks_everything_and_is_idempotent(self):
+        session = ShmSession()
+        matrix = _large_matrix()
+        handle = session.maybe_export(matrix)
+        assert session.live_segments == 1
+        session.close()
+        assert session.live_segments == 0
+        session.close()  # safe to repeat
+        shm_mod._ATTACHED.pop(handle.name, None)
+        with pytest.raises(FileNotFoundError):
+            attach_matrix(handle)
+
+
+# ---------------------------------------------------------------------------
+# Pooled transport — serial == workers=2, bit for bit
+
+
+@needs_shm
+class TestPooledTransport:
+    def test_pooled_matches_serial_bit_for_bit(self):
+        matrix = _large_matrix()
+        payloads = [(matrix, float(i)) for i in range(1, 5)]
+        serial = [_col_sums(p) for p in payloads]
+        pmap = ParallelMap(2, **FAST)
+        try:
+            pooled = pmap.map(_col_sums, payloads)
+            session = pmap._shm_session
+            assert session is not None
+            # One shared matrix -> one segment, reused across all 4 tasks.
+            assert session.exported_segments == 1
+            assert not pmap.degraded
+        finally:
+            pmap.close()
+        assert _same_results(serial, pooled)
+
+    def test_opt_out_env_disables_transport(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "0")
+        assert not shm_enabled()
+        matrix = _large_matrix()
+        payloads = [(matrix, float(i)) for i in range(2)]
+        serial = [_col_sums(p) for p in payloads]
+        pmap = ParallelMap(2, **FAST)
+        try:
+            pooled = pmap.map(_col_sums, payloads)
+            assert pmap._shm_session is None  # transport never engaged
+        finally:
+            pmap.close()
+        assert _same_results(serial, pooled)
+
+
+# ---------------------------------------------------------------------------
+# Chaos: faults mid-map must neither corrupt results nor leak segments
+
+
+def _dev_shm_names() -> set[str]:
+    import os
+
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # non-Linux hosts: nothing to leak-check
+        return set()
+
+
+def _leaked(names_before: set[str]) -> set[str]:
+    return _dev_shm_names() - names_before
+
+
+@needs_shm
+class TestChaosLifecycle:
+    """FaultPlan crashes/hangs during shm-backed maps: correct and leak-free."""
+
+    def _run_with_plan(self, plan: FaultPlan | None, **kwargs):
+        matrix = _large_matrix()
+        payloads = [(matrix, float(i)) for i in range(1, 5)]
+        serial = [_col_sums(p) for p in payloads]
+        pmap = ParallelMap(2, fault_plan=plan, max_retries=3, **FAST, **kwargs)
+        try:
+            pooled = pmap.map(_col_sums, payloads)
+        finally:
+            pmap.close()
+        assert _same_results(serial, pooled)
+        return pmap
+
+    def test_worker_crash_mid_map(self):
+        before = _dev_shm_names()
+        plan = FaultPlan(specs=(FaultSpec(kind="crash", index=1),))
+        pmap = self._run_with_plan(plan)
+        assert pmap.retries >= 1
+        assert _leaked(before) == set()
+
+    def test_worker_hang_mid_map(self):
+        before = _dev_shm_names()
+        plan = FaultPlan(specs=(FaultSpec(kind="hang", index=0, hang_s=30.0),))
+        pmap = self._run_with_plan(plan, timeout_s=0.5)
+        assert pmap.timeouts >= 1
+        assert _leaked(before) == set()
+
+    def test_segments_survive_pool_restart(self):
+        # A crash kills the pool; the retry's fresh workers must still be
+        # able to attach — segments are owned by the session, not the pool.
+        before = _dev_shm_names()
+        plan = FaultPlan(specs=(FaultSpec(kind="crash", index=0),))
+        pmap = self._run_with_plan(plan)
+        assert pmap.pool_restarts >= 1
+        assert _leaked(before) == set()
+
+    def test_repeated_crashes_then_quarantine_still_clean(self):
+        before = _dev_shm_names()
+        matrix = _large_matrix()
+        payloads = [(matrix, float(i)) for i in range(1, 4)]
+        plan = FaultPlan(specs=(FaultSpec(kind="crash", index=1, times=99),))
+        pmap = ParallelMap(2, fault_plan=plan, max_retries=2, **FAST)
+        try:
+            from repro.engine import PoisonTaskError
+
+            with pytest.raises(PoisonTaskError):
+                pmap.map(_col_sums, payloads)
+        finally:
+            pmap.close()
+        assert _leaked(before) == set()
+
+    def test_close_without_map_is_safe(self):
+        pmap = ParallelMap(2, **FAST)
+        pmap.close()  # no session was ever created
+        assert pmap._shm_session is None

@@ -1,5 +1,7 @@
 """Tests for repro.sparse.spgemm — Gustavson SpGEMM and the load vector."""
 
+import importlib
+
 import numpy as np
 import pytest
 
@@ -57,6 +59,98 @@ class TestSpgemmCorrectness:
         left = spgemm(spgemm(a, b), c).to_dense()
         right = spgemm(a, spgemm(b, c)).to_dense()
         assert np.allclose(left, right)
+
+
+class TestBucketFoldIdentity:
+    """The sort-free bucketed fold must be bit-identical to the lexsort path.
+
+    ``spgemm`` picks the fold for dense expansion streams (banded inputs)
+    and the historical ``from_coo`` lexsort for sparse ones; forcing the
+    cutoff to 0 re-runs the same product through the lexsort path, and the
+    two results must agree in every byte — indptr, indices, and data.
+    """
+
+    @staticmethod
+    def _both_paths(a, b, monkeypatch):
+        mod = importlib.import_module("repro.sparse.spgemm")
+
+        folded = spgemm(a, b)
+        with monkeypatch.context() as m:
+            m.setattr(mod, "_FOLD_DENSITY_CUTOFF", 0)
+            sorted_path = spgemm(a, b)
+        return folded, sorted_path
+
+    @staticmethod
+    def _identical(c1, c2):
+        return (
+            c1.shape == c2.shape
+            and np.array_equal(c1.indptr, c2.indptr)
+            and np.array_equal(c1.indices, c2.indices)
+            and c1.data.tobytes() == c2.data.tobytes()
+        )
+
+    def test_banded_square(self, monkeypatch):
+        from repro.workloads.band import banded_matrix
+
+        a = banded_matrix(300, 6.0, rng=5)
+        folded, sorted_path = self._both_paths(a, a, monkeypatch)
+        assert self._identical(folded, sorted_path)
+        # Sanity: the banded product really exercises the fold path.
+        mod = importlib.import_module("repro.sparse.spgemm")
+
+        total = int(np.sum(load_vector(a, a)))
+        assert a.n_rows * a.n_cols <= mod._FOLD_DENSITY_CUTOFF * total
+
+    def test_rectangular(self, monkeypatch):
+        a = random_sparse(40, 25, 0.35, seed=21)
+        b = random_sparse(25, 31, 0.35, seed=22)
+        folded, sorted_path = self._both_paths(a, b, monkeypatch)
+        assert self._identical(folded, sorted_path)
+        assert np.allclose(folded.to_dense(), spgemm_dense_reference(a, b))
+
+    def test_explicit_zeros_preserved(self, monkeypatch):
+        # Contributions that cancel to exactly 0.0 stay as explicit stored
+        # zeros on both paths (from_coo keeps them; so must the fold).
+        a = from_dense(np.array([[1.0, -1.0], [2.0, 0.0]]))
+        b = from_dense(np.array([[3.0, 1.0], [3.0, 1.0]]))
+        folded, sorted_path = self._both_paths(a, b, monkeypatch)
+        assert self._identical(folded, sorted_path)
+        assert folded.nnz == sorted_path.nnz
+        # (1*3 + -1*3) = 0.0 lands as a stored zero, not a dropped entry.
+        assert 0.0 in folded.data
+
+    def test_duplicate_accumulation_order(self, monkeypatch):
+        # Many collisions per output cell: the fold's bincount sum must be
+        # the same left-fold the lexsort + add.at path performs.
+        rng = np.random.default_rng(33)
+        dense_a = rng.standard_normal((30, 30)) * (rng.random((30, 30)) < 0.6)
+        dense_b = rng.standard_normal((30, 30)) * (rng.random((30, 30)) < 0.6)
+        a, b = from_dense(dense_a), from_dense(dense_b)
+        folded, sorted_path = self._both_paths(a, b, monkeypatch)
+        assert self._identical(folded, sorted_path)
+
+    def test_zero_expansion_product(self, monkeypatch):
+        # A and B are nonempty but no A-column hits a nonempty B-row.
+        a = from_dense(np.array([[0.0, 1.0], [0.0, 2.0]]))
+        b = from_dense(np.array([[5.0, 6.0], [0.0, 0.0]]))
+        folded, sorted_path = self._both_paths(a, b, monkeypatch)
+        assert self._identical(folded, sorted_path)
+        assert folded.nnz == 0
+        assert folded.shape == (2, 2)
+
+    def test_blocked_fold_matches_unblocked(self, monkeypatch):
+        # Shrink the block budget so one product spans many row blocks; the
+        # block seams must not perturb the result.
+        mod = importlib.import_module("repro.sparse.spgemm")
+
+        from repro.workloads.band import banded_matrix
+
+        a = banded_matrix(200, 5.0, rng=9)
+        reference = spgemm(a, a)
+        with monkeypatch.context() as m:
+            m.setattr(mod, "_FOLD_BLOCK_CELLS", 512)  # ~2 rows per block
+            blocked = spgemm(a, a)
+        assert self._identical(reference, blocked)
 
 
 class TestLoadVector:
