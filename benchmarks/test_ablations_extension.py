@@ -3,6 +3,7 @@
 from repro.experiments import (
     ablation_cc_sampling,
     ablation_hh_sampling,
+    ext_dynamic,
     ext_multiway,
 )
 
@@ -20,3 +21,12 @@ def test_ablation_hh_sampling(benchmark, bench_config):
 def test_ext_multiway(benchmark, bench_config):
     report = benchmark(ext_multiway.run, bench_config)
     assert report.metrics["avg_speedup_vs_single_gpu"] > 0.5
+
+
+def test_ext_dynamic(benchmark, bench_config):
+    # The drift workloads are synthetic (no Table II datasets); at
+    # BENCH_SCALE the study measures the rounds pipeline itself, not the
+    # rebalancing gains (those need larger blocks — see the tier-1 test).
+    report = benchmark(ext_dynamic.run, bench_config)
+    assert "median_gain_percent" in report.metrics
+    assert report.metrics["steal_stolen_rows"] >= 0.0

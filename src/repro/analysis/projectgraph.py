@@ -418,6 +418,10 @@ class _ModuleExtractor(ast.NodeVisitor):
         # Names declared ``global`` anywhere in the body (incl. nested
         # defs, which are inlined) — needed while visiting writes.
         info._globals = self._global_names(node)
+        # Names bound locally (params, assignments, loop/with/except/walrus
+        # targets): a local that shadows an import is not module state, so
+        # attribute writes through it must not count as global writes.
+        info._locals = self._local_bindings(node) - info._globals
         self.s.functions[qual] = info
         if self._class_stack:
             self.s.classes[self._class_stack[-1]]["methods"].append(node.name)
@@ -436,6 +440,58 @@ class _ModuleExtractor(ast.NodeVisitor):
         for sub in ast.walk(node):
             if isinstance(sub, ast.Global):
                 names.update(sub.names)
+        return names
+
+    @staticmethod
+    def _bound_names(target: ast.expr) -> set[str]:
+        """Bare names a binding target introduces (tuples recursed)."""
+        if isinstance(target, ast.Name):
+            return {target.id}
+        if isinstance(target, (ast.Tuple, ast.List)):
+            out: set[str] = set()
+            for elt in target.elts:
+                out |= _ModuleExtractor._bound_names(elt)
+            return out
+        if isinstance(target, ast.Starred):
+            return _ModuleExtractor._bound_names(target.value)
+        return set()
+
+    def _local_bindings(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> set[str]:
+        """Every name the function body binds locally (params included).
+
+        Walks the whole body — nested defs are inlined, mirroring
+        :meth:`_global_names` — so any bare-name binding site counts:
+        assignments, ``for``/``with``/``except`` targets, walrus, and
+        comprehension variables.
+        """
+        names: set[str] = set()
+        args = node.args
+        for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            names.add(a.arg)
+        if args.vararg is not None:
+            names.add(args.vararg.arg)
+        if args.kwarg is not None:
+            names.add(args.kwarg.arg)
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Assign):
+                for t in sub.targets:
+                    names |= self._bound_names(t)
+            elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)):
+                names |= self._bound_names(sub.target)
+            elif isinstance(sub, (ast.For, ast.AsyncFor)):
+                names |= self._bound_names(sub.target)
+            elif isinstance(sub, ast.withitem):
+                if sub.optional_vars is not None:
+                    names |= self._bound_names(sub.optional_vars)
+            elif isinstance(sub, ast.NamedExpr):
+                names |= self._bound_names(sub.target)
+            elif isinstance(sub, ast.comprehension):
+                names |= self._bound_names(sub.target)
+            elif isinstance(sub, ast.ExceptHandler):
+                if sub.name is not None:
+                    names.add(sub.name)
         return names
 
     def visit_Assign(self, node: ast.Assign) -> None:
@@ -471,11 +527,21 @@ class _ModuleExtractor(ast.NodeVisitor):
     def _check_write_targets(
         self, targets: list[ast.expr], stmt: ast.stmt, how: str
     ) -> None:
-        """Record writes that touch module-level state from function code."""
+        """Record writes that touch module-level state from function code.
+
+        A dotted target whose head name the function binds *locally* (and
+        does not declare ``global``) is not module state, however much it
+        shadows an import or a module variable — ``tl = Timeline();
+        tl.cursor = 0`` writes a local object even when ``tl`` is also an
+        imported module's name.
+        """
         fn = self._fn
         globals_declared = getattr(fn, "_globals", None)
         if globals_declared is None:
             globals_declared = set()
+        locals_bound = getattr(fn, "_locals", None)
+        if locals_bound is None:
+            locals_bound = set()
         for target in targets:
             if isinstance(target, ast.Name):
                 if target.id in globals_declared:
@@ -489,7 +555,11 @@ class _ModuleExtractor(ast.NodeVisitor):
                     )
             elif isinstance(target, ast.Subscript):
                 base = _dotted(target.value)
-                if base is not None and self._is_module_state(base):
+                if (
+                    base is not None
+                    and base.split(".")[0] not in locals_bound
+                    and self._is_module_state(base)
+                ):
                     fn.global_writes.append(
                         {
                             "name": base,
@@ -500,7 +570,11 @@ class _ModuleExtractor(ast.NodeVisitor):
                     )
             elif isinstance(target, ast.Attribute):
                 base = _dotted(target.value)
-                if base is not None and base in self.s.imports:
+                if (
+                    base is not None
+                    and base in self.s.imports
+                    and base.split(".")[0] not in locals_bound
+                ):
                     fn.global_writes.append(
                         {
                             "name": f"{base}.{target.attr}",
@@ -780,10 +854,13 @@ def summarize_source(
         or extractor._module_fn.entropy
     ):
         summary.functions["<module>"] = extractor._module_fn
-    # Drop the transient _globals helper attribute before serialization.
+    # Drop the transient _globals/_locals helper attributes before
+    # serialization.
     for info in summary.functions.values():
         if hasattr(info, "_globals"):
             del info._globals
+        if hasattr(info, "_locals"):
+            del info._locals
     return summary
 
 

@@ -1,0 +1,85 @@
+"""Named partitioning-strategy registry.
+
+The tuner comparison surfaces (CLI, experiments, the serving layer) refer
+to strategies by name — ``"static-sampled"``, ``"dynamic-rebalance"`` —
+rather than importing concrete classes, so a new strategy family plugs in
+by registering a factory here.  The registry lives in :mod:`repro.core`
+(the framework layer) while implementations live wherever they belong
+(:mod:`repro.hetero.dynamic_rebalance` self-registers on import), keeping
+the core -> hetero import direction clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class StrategyEntry:
+    """One registered strategy: its factory plus a one-line description."""
+
+    name: str
+    factory: Callable[..., object]
+    doc: str = ""
+
+
+_REGISTRY: dict[str, StrategyEntry] = {}
+
+
+def register_strategy(
+    name: str, factory: Callable[..., object], doc: str = ""
+) -> None:
+    """Register *factory* under *name*; re-registering a name replaces it.
+
+    Replacement (rather than raising) keeps module reloads — common in
+    notebooks and test harnesses — idempotent.
+    """
+    if not name:
+        raise ValidationError("strategy name must be non-empty")
+    if not callable(factory):
+        raise ValidationError(f"strategy factory for {name!r} must be callable")
+    _REGISTRY[name] = StrategyEntry(name=name, factory=factory, doc=doc)
+
+
+def strategy_names() -> tuple[str, ...]:
+    """All registered names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_strategy(name: str, **kwargs) -> object:
+    """Instantiate the strategy registered under *name*.
+
+    Keyword arguments pass through to the factory (e.g. ``rounds=8,
+    steal=True`` for the dynamic family).
+    """
+    _ensure_builtins()
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        known = ", ".join(strategy_names()) or "<none>"
+        raise ValidationError(f"unknown strategy {name!r}; registered: {known}")
+    return entry.factory(**kwargs)
+
+
+def strategy_doc(name: str) -> str:
+    _ensure_builtins()
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        raise ValidationError(f"unknown strategy {name!r}")
+    return entry.doc
+
+
+def _ensure_builtins() -> None:
+    """Import the modules that self-register the built-in strategies."""
+    import repro.hetero.dynamic_rebalance  # noqa: F401  (registers on import)
+
+
+__all__ = [
+    "StrategyEntry",
+    "register_strategy",
+    "strategy_names",
+    "get_strategy",
+    "strategy_doc",
+]

@@ -27,6 +27,7 @@ from repro.experiments import (
     ablation_hh_sampling,
     ablation_spmm_sampling,
     ext_cluster,
+    ext_dynamic,
     ext_multiway,
     fig1_dense,
     fig3_cc,
@@ -60,6 +61,7 @@ REGISTRY = {
     "ablation-spmm-sampling": ablation_spmm_sampling.run,
     "ext-multiway": ext_multiway.run,
     "ext-cluster": ext_cluster.run,
+    "ext-dynamic": ext_dynamic.run,
 }
 
 __all__ = ["ExperimentConfig", "ExperimentReport", "REGISTRY"]

@@ -134,6 +134,10 @@ class CcProblem:
         by :meth:`sample`, ``None`` for full instances.
     """
 
+    #: The PCIe traffic ships the *CPU's* labels up for the GPU merge, so
+    #: the dynamic-rebalance observer charges it to the CPU side.
+    rebalance_pcie_device = "cpu"
+
     def __init__(
         self,
         graph: Graph,
@@ -401,6 +405,41 @@ class CcProblem:
         gpu_rate = effective_rate_per_ms(self.machine.gpu, self.profile)
         combined = cpu_rate + gpu_rate / SV_EFFECTIVE_PASSES
         return work / combined
+
+    # -- rounds (repro.hetero.dynamic_rebalance) -----------------------------------
+
+    def round_axis_n(self) -> int:
+        """Length of the axis rounds are cut along (the vertex order)."""
+        return self.graph.n
+
+    def round_block(self, lo: int, hi: int) -> "CcProblem":
+        """The induced subgraph on the contiguous vertex range ``[lo, hi)``.
+
+        Cross-block edges fold into the final merge exactly as cross-cut
+        edges do within a block, so pricing rounds on induced blocks keeps
+        the Phase-II model's shape.  Full instances only (a sampled
+        instance represents the whole input).
+        """
+        if self.is_sample:
+            raise ValidationError("round_block is defined for full instances")
+        if not 0 <= lo < hi <= self.graph.n:
+            raise ValidationError(f"bad vertex block [{lo}, {hi})")
+        sub = self.graph.subgraph(np.arange(lo, hi, dtype=_INDEX))
+        return CcProblem(
+            sub,
+            self.machine,
+            name=f"{self.name}/verts[{lo}:{hi})",
+            sampling_method=self.sampling_method,
+            profile=self.profile,
+        )
+
+    def cpu_share_at(self, threshold: float) -> float:
+        """CPU share of the axis at *threshold* (the threshold is GPU share)."""
+        return 1.0 - threshold / 100.0
+
+    def threshold_for_cpu_share(self, share: float) -> float:
+        """Threshold (GPU vertex share, percent) giving the CPU *share*."""
+        return 100.0 * (1.0 - min(max(share, 0.0), 1.0))
 
     # -- analytic Phase II pricing ------------------------------------------------
 

@@ -55,11 +55,20 @@ class DenseMmProblem:
     """
 
     def __init__(
-        self, n: int, machine: "HeterogeneousMachine | ClusterSpec", name: str | None = None
+        self,
+        n: int,
+        machine: "HeterogeneousMachine | ClusterSpec",
+        name: str | None = None,
+        rows: int | None = None,
     ) -> None:
         if n < 0:
             raise ValidationError("n must be non-negative")
+        if rows is not None and not 0 <= rows <= n:
+            raise ValidationError(f"rows must be in [0, {n}], got {rows}")
         self.n = n
+        # Row blocks (dynamic-rebalance rounds) multiply ``rows x n`` of A
+        # against the full B; the default square instance has rows == n.
+        self.rows = n if rows is None else rows
         # A 2-device ClusterSpec works anywhere the legacy machine does.
         self.machine = coerce_machine(machine)
         self.name = name or f"mat.{n}"
@@ -77,9 +86,10 @@ class DenseMmProblem:
         if float(ts.min()) < 0.0 or float(ts.max()) > 100.0:
             raise ValidationError("thresholds must be in [0, 100]")
         n = self.n
-        if n == 0:
+        rows = self.rows
+        if rows == 0:
             return np.zeros(ts.shape, dtype=np.float64)
-        split = np.round(n * ts / 100.0).astype(np.int64)
+        split = np.round(rows * ts / 100.0).astype(np.int64)
         flops_per_row = 2.0 * n * n
         cpu = self.machine.cpu
         gpu = self.machine.gpu
@@ -88,15 +98,15 @@ class DenseMmProblem:
             + cpu.kernel_launch_us * 1e-3
         )
         gpu_ms = (
-            (n - split) * flops_per_row
+            (rows - split) * flops_per_row
             / effective_rate_per_ms(gpu, PROFILE_DENSE_MM)
             + gpu.kernel_launch_us * 1e-3
         )
         longest = np.maximum(
-            np.where(split > 0, cpu_ms, 0.0), np.where(split < n, gpu_ms, 0.0)
+            np.where(split > 0, cpu_ms, 0.0), np.where(split < rows, gpu_ms, 0.0)
         )
-        d2h = self.machine.transfer_ms_many((n - split) * n * _BYTES_PER_ELEMENT)
-        return longest + np.where(split < n, d2h, 0.0)
+        d2h = self.machine.transfer_ms_many((rows - split) * n * _BYTES_PER_ELEMENT)
+        return longest + np.where(split < rows, d2h, 0.0)
 
     def timeline(self, threshold: float) -> Timeline:
         return self._pipeline(threshold)
@@ -134,13 +144,14 @@ class DenseMmProblem:
     def _split_row(self, threshold: float) -> int:
         if not 0.0 <= threshold <= 100.0:
             raise ValidationError(f"threshold must be in [0, 100], got {threshold}")
-        return int(round(self.n * threshold / 100.0))
+        return int(round(self.rows * threshold / 100.0))
 
     def _pipeline(self, threshold: float) -> Timeline:
         split = self._split_row(threshold)
         n = self.n
+        rows = self.rows
         tl = Timeline()
-        if n == 0:
+        if rows == 0:
             return tl
         # Operands are dual-resident (see the spmm module); only the GPU's
         # slab of C returns over PCIe.
@@ -151,27 +162,44 @@ class DenseMmProblem:
             else 0.0
         )
         gpu_ms = (
-            dense_mm_time((n - split) * flops_per_row, self.machine.gpu, PROFILE_DENSE_MM)
-            if split < n
+            dense_mm_time((rows - split) * flops_per_row, self.machine.gpu, PROFILE_DENSE_MM)
+            if split < rows
             else 0.0
         )
         tl.overlap([("cpu", "gemm-cpu", cpu_ms), ("gpu", "gemm-gpu", gpu_ms)])
-        if split < n:
-            d2h = (n - split) * n * _BYTES_PER_ELEMENT  # C2 back
+        if split < rows:
+            d2h = (rows - split) * n * _BYTES_PER_ELEMENT  # C2 back
             tl.run("pcie", "d2h-result", self.machine.transfer_ms(d2h))
         return tl
+
+    # -- rounds (repro.hetero.dynamic_rebalance) ---------------------------------------------
+
+    def round_axis_n(self) -> int:
+        """Length of the axis rounds are cut along (rows of ``A``)."""
+        return self.rows
+
+    def round_block(self, lo: int, hi: int) -> "DenseMmProblem":
+        """The contiguous row block ``[lo, hi)`` against the full ``B``."""
+        if not 0 <= lo < hi <= self.rows:
+            raise ValidationError(f"bad row block [{lo}, {hi})")
+        return DenseMmProblem(
+            self.n,
+            self.machine,
+            name=f"{self.name}/rows[{lo}:{hi})",
+            rows=hi - lo,
+        )
 
     # -- real execution --------------------------------------------------------------------
 
     def run(self, threshold: float, rng: RngLike = None) -> DenseMmRunResult:
         """Numerically execute the partitioned GEMM on random operands."""
         gen = as_generator(rng)
-        a = gen.uniform(0.0, 1.0, size=(self.n, self.n))
+        a = gen.uniform(0.0, 1.0, size=(self.rows, self.n))
         b = gen.uniform(0.0, 1.0, size=(self.n, self.n))
         split = self._split_row(threshold)
         c_top = a[:split] @ b
         c_bottom = a[split:] @ b
-        product = np.vstack([c_top, c_bottom]) if self.n else np.zeros((0, 0))
+        product = np.vstack([c_top, c_bottom]) if self.rows else np.zeros((0, 0))
         return DenseMmRunResult(
             threshold=float(threshold),
             split_row=split,

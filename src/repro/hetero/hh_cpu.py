@@ -265,11 +265,13 @@ class HhCpuProblem:
         # contribution, so it counts as "high" work exactly for cutoff
         # columns j < b; w_high(r, j) is the suffix bucket sum over b > j.
         pe = np.searchsorted(tc, self._contrib, side="left")
+        # bincount over an empty input yields int64 zeros even with float
+        # weights; all-zero-rows blocks must still price as floats.
         buckets = np.bincount(
             tb["rank_expanded"] * (g + 1) + pe,
             weights=self._contrib,
             minlength=n * (g + 1),
-        ).reshape(n, g + 1)
+        ).astype(np.float64, copy=False).reshape(n, g + 1)
         w_high = buckets[:, ::-1].cumsum(axis=1)[:, ::-1][:, 1:]
         del buckets
         w_low = tb["mults_sorted"][:, None] - w_high
@@ -487,6 +489,62 @@ class HhCpuProblem:
     def gpu_only_threshold(self) -> float:
         """Cutoff above every density: no high rows, everything on the GPU."""
         return float(self._d_rows.max()) if self._d_rows.size else 0.0
+
+    # -- rounds (repro.hetero.dynamic_rebalance) -------------------------------------
+
+    def round_axis_n(self) -> int:
+        """Length of the axis rounds are cut along (rows of ``A``)."""
+        return self.a.n_rows
+
+    def round_block(self, lo: int, hi: int) -> "HhCpuProblem":
+        """The contiguous row block ``[lo, hi)`` against the full column space.
+
+        A block is exactly a "row sample" with no representation scaling:
+        it keeps all its elements, and *b_density* pins the density axis to
+        the full instance's, so density cutoffs transfer between rounds
+        unchanged.  Full instances only.
+        """
+        if self._is_row_sample or self.work_scale != 1.0:
+            raise ValidationError("round_block is defined for full instances")
+        if not 0 <= lo < hi <= self.a.n_rows:
+            raise ValidationError(f"bad row block [{lo}, {hi})")
+        sub = self.a.select_rows(np.arange(lo, hi, dtype=_INDEX))
+        return HhCpuProblem(
+            sub,
+            self.machine,
+            name=f"{self.name}/rows[{lo}:{hi})",
+            b_density=self._d_cols,
+            compression=self._compression,
+            sampling_method=self.sampling_method,
+            profile=self.profile,
+        )
+
+    def cpu_share_at(self, threshold: float) -> float:
+        """Fraction of the multiply volume the cutoff sends to the CPU."""
+        if self._total_mults == 0.0:
+            return 0.0
+        high = float(self._row_mults[self._d_rows > threshold].sum())
+        return high / self._total_mults
+
+    def threshold_for_cpu_share(self, share: float) -> float:
+        """Smallest density cutoff whose high-row work share is <= *share*.
+
+        The same heaviest-rows-first scan as :meth:`naive_static_threshold`,
+        with the target share free — the rebalance loop moves the cutoff
+        through this mapping.
+        """
+        share = min(max(share, 0.0), 1.0)
+        total = self._total_mults
+        if total == 0 or self._d_rows.size == 0:
+            return 0.0
+        order = np.argsort(self._d_rows)[::-1]
+        shares = np.cumsum(self._row_mults[order]) / total
+        k = int(np.searchsorted(shares, share, side="right"))
+        if k == 0:
+            return float(self._d_rows.max())
+        if k >= self._d_rows.size:
+            return 0.0
+        return max(0.0, float(self._d_rows[order[k - 1]]) - 1.0)
 
     def extrapolation_context(self, sample_size: int) -> dict:
         """Scale information for extrapolation laws (Section V-A.3).

@@ -489,6 +489,52 @@ class MultiwayCcProblem:
         """Cumulative peak-FLOPS cuts (:meth:`ClusterSpec.naive_static_cuts`)."""
         return self.cluster.naive_static_cuts()
 
+    # -- rounds (repro.hetero.dynamic_rebalance) ------------------------------------------
+
+    def round_axis_n(self) -> int:
+        """Length of the axis rounds are cut along (vertices)."""
+        return self.graph.n
+
+    def round_block(self, lo: int, hi: int) -> "MultiwayCcProblem":
+        """The induced subgraph on vertices ``[lo, hi)``, same cluster."""
+        if self.vertex_weights is not None or self.work_scale != 1.0:
+            raise ValidationError("round_block is defined for full instances")
+        if not 0 <= lo < hi <= self.graph.n:
+            raise ValidationError(f"bad vertex block [{lo}, {hi})")
+        sub = self.graph.subgraph(np.arange(lo, hi, dtype=_INDEX))
+        return MultiwayCcProblem(
+            sub, self.cluster, name=f"{self.name}/verts[{lo}:{hi})"
+        )
+
+    def device_shares_at(self, thresholds: Sequence[float]) -> tuple[float, ...]:
+        """Per-device vertex shares implied by a cumulative cut vector."""
+        cuts = self._check_vector(thresholds)
+        bounds = [0.0, *(float(c) for c in cuts), 100.0]
+        return tuple(
+            (bounds[i + 1] - bounds[i]) / 100.0 for i in range(len(bounds) - 1)
+        )
+
+    def thresholds_for_device_shares(
+        self, shares: Sequence[float]
+    ) -> tuple[float, ...]:
+        """Cumulative cut vector giving each device its requested share.
+
+        *shares* has one entry per device (CPU first); it is clipped
+        non-negative and renormalized, so any positive vector is a valid
+        target.
+        """
+        if len(shares) != self.n_gpus + 1:
+            raise ValidationError(
+                f"expected {self.n_gpus + 1} shares, got {len(shares)}"
+            )
+        vals = np.clip(np.asarray(shares, dtype=np.float64), 0.0, None)
+        total = float(vals.sum())
+        if total <= 0.0:
+            vals = np.full(vals.shape, 1.0)
+            total = float(vals.sum())
+        cum = np.cumsum(vals / total)[:-1] * 100.0
+        return tuple(float(min(max(c, 0.0), 100.0)) for c in cum)
+
     # -- real execution -------------------------------------------------------------------
 
     def run(self, thresholds: Sequence[float]) -> MultiwayCcRunResult:

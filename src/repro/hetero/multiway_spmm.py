@@ -298,6 +298,62 @@ class MultiwaySpmmProblem:
     def default_sample_size(self) -> int:
         return self._base.default_sample_size()
 
+    # -- rounds (repro.hetero.dynamic_rebalance) ----------------------------------------
+
+    def round_axis_n(self) -> int:
+        """Length of the axis rounds are cut along (rows of ``A``)."""
+        return self.a.n_rows
+
+    def round_block(self, lo: int, hi: int) -> "MultiwaySpmmProblem":
+        """The contiguous row block ``[lo, hi)`` on the same cluster."""
+        if not 0 <= lo < hi <= self.a.n_rows:
+            raise ValidationError(f"bad row block [{lo}, {hi})")
+        sub = self.a.row_slice(lo, hi)
+        base = SpmmProblem(
+            sub,
+            self.machine,
+            b=self._base.b,
+            name=f"{self.name}/rows[{lo}:{hi})",
+            compression=self._base._compression,
+            sampling_method=self._base.sampling_method,
+            profile=self._base.profile,
+        )
+        return MultiwaySpmmProblem(
+            sub,
+            self.cluster,
+            name=f"{self.name}/rows[{lo}:{hi})",
+            base=base,
+        )
+
+    def device_shares_at(self, thresholds: Sequence[float]) -> tuple[float, ...]:
+        """Per-device work shares implied by a cumulative cut vector."""
+        cuts = self._check_vector(thresholds)
+        bounds = [0.0, *cuts, 100.0]
+        return tuple(
+            (bounds[i + 1] - bounds[i]) / 100.0 for i in range(len(bounds) - 1)
+        )
+
+    def thresholds_for_device_shares(
+        self, shares: Sequence[float]
+    ) -> tuple[float, ...]:
+        """Cumulative cut vector giving each device its requested share.
+
+        *shares* has one entry per device (CPU first); it is clipped
+        non-negative and renormalized, so any positive vector is a valid
+        target.
+        """
+        if len(shares) != self.n_gpus + 1:
+            raise ValidationError(
+                f"expected {self.n_gpus + 1} shares, got {len(shares)}"
+            )
+        vals = np.clip(np.asarray(shares, dtype=np.float64), 0.0, None)
+        total = float(vals.sum())
+        if total <= 0.0:
+            vals = np.full(vals.shape, 1.0)
+            total = float(vals.sum())
+        cum = np.cumsum(vals / total)[:-1] * 100.0
+        return tuple(float(min(max(c, 0.0), 100.0)) for c in cum)
+
     # -- real execution -----------------------------------------------------------------
 
     def run(self, thresholds: Sequence[float]) -> MultiwaySpmmRunResult:

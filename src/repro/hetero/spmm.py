@@ -37,7 +37,7 @@ from repro.platform.costmodel import (
 )
 from repro.platform.cluster import ClusterSpec, coerce_machine
 from repro.platform.machine import HeterogeneousMachine
-from repro.platform.timeline import Timeline
+from repro.platform.timeline import SpanQueue, Timeline
 from repro.sparse.csr import CsrMatrix
 from repro.sparse.ops import vstack
 from repro.sparse.sampling import deterministic_block
@@ -468,6 +468,93 @@ class SpmmProblem:
             c2_bytes = gpu_mults * self._compression * _BYTES_PER_NNZ
             tl.run("pcie", "phase2/d2h-result", self.machine.transfer_ms(c2_bytes))
         return tl
+
+    # -- rounds / work stealing (repro.hetero.dynamic_rebalance) -----------------------
+
+    def round_axis_n(self) -> int:
+        """Length of the axis rounds are cut along (rows of ``A``)."""
+        return self.a.n_rows
+
+    def round_block(self, lo: int, hi: int) -> "SpmmProblem":
+        """The contiguous row block ``[lo, hi)`` as its own instance.
+
+        The block inherits the parent's operands (``B`` is shared), kernel
+        profile, and measured compression ratio — re-estimating compression
+        per block would both cost time and make round pricing depend on the
+        block cut.  Defined for full instances only: a sampled instance
+        prices the whole input it represents, so slicing it has no
+        full-instance meaning.
+        """
+        if self.work_scale != 1.0 or self._rep is not None:
+            raise ValidationError("round_block is defined for full instances")
+        if not 0 <= lo < hi <= self.a.n_rows:
+            raise ValidationError(f"bad row block [{lo}, {hi})")
+        return SpmmProblem(
+            self.a.row_slice(lo, hi),
+            self.machine,
+            b=self.b,
+            name=f"{self.name}/rows[{lo}:{hi})",
+            compression=self._compression,
+            sampling_method=self.sampling_method,
+            profile=self.profile,
+        )
+
+    def round_queues(self, threshold: float, chunks: int = 8) -> list[SpanQueue]:
+        """Per-device stealable queues for one round at *threshold*.
+
+        Each side of the split is cut into up to *chunks* work-balanced
+        contiguous row chunks, priced like the dynamic baseline's chunks
+        (:mod:`repro.hetero.dynamic`): a launch per chunk, and a GPU chunk
+        carries its own result transfer (a stolen schedule cannot batch the
+        D2H copy).  Every chunk is priced for **both** devices so
+        :meth:`Timeline.steal_remaining` can migrate it.
+        """
+        if self.work_scale != 1.0 or self._rep is not None:
+            raise ValidationError("round_queues is defined for full instances")
+        if chunks < 1:
+            raise ValidationError("chunks must be >= 1")
+        split = self.split_row(threshold)
+        n = self.a.n_rows
+        cpu_rate = effective_rate_per_ms(self.machine.cpu, self.profile)
+        gpu_rate = effective_rate_per_ms(self.machine.gpu, self.profile)
+        cpu_launch = self.machine.cpu.kernel_launch_us * 1e-3
+        gpu_launch = self.machine.gpu.kernel_launch_us * 1e-3
+
+        def bounds_for(lo: int, hi: int) -> np.ndarray:
+            if hi <= lo:
+                return np.array([lo], dtype=_INDEX)
+            work_lo = self._flop_prefix[lo]
+            targets = work_lo + (self._flop_prefix[hi] - work_lo) * np.linspace(
+                0.0, 1.0, chunks + 1
+            )
+            cut = np.searchsorted(self._flop_prefix, targets, side="left")
+            cut = np.clip(cut, lo, hi)
+            cut[0], cut[-1] = lo, hi
+            return np.unique(cut).astype(_INDEX)
+
+        def build(resource: str, lo: int, hi: int) -> SpanQueue:
+            queue = SpanQueue(resource)
+            cut = bounds_for(lo, hi)
+            if cut.size < 2:
+                return queue
+            flops = np.diff(self._flop_prefix[cut])
+            padded = np.diff(self._padded_prefix[cut])
+            d2h = self.machine.transfer_ms_many(
+                (flops / 2.0) * self._compression * _BYTES_PER_NNZ
+            )
+            labels = [
+                f"rows[{int(a)}:{int(b)})" for a, b in zip(cut[:-1], cut[1:])
+            ]
+            queue.push_many(
+                labels,
+                {
+                    "cpu": flops / cpu_rate + cpu_launch,
+                    "gpu": padded / gpu_rate + gpu_launch + d2h,
+                },
+            )
+            return queue
+
+        return [build("cpu", 0, split), build("gpu", split, n)]
 
     # -- real execution ----------------------------------------------------------------
 

@@ -26,8 +26,8 @@ objects (lazily, cached) so every existing consumer sees identical traces.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -80,6 +80,99 @@ class TimelineColumns:
     @property
     def ends(self) -> np.ndarray:
         return self.starts + self.durations
+
+
+class SpanQueue:
+    """A FIFO of *planned* (not yet recorded) spans for one resource.
+
+    The work-stealing executor's unit of exchange: each item carries a
+    label plus its cost **on every resource that could execute it**, so an
+    idle device can claim an item from another queue and re-price it for
+    itself.  Items are appended with the batch :meth:`push_many` API and
+    drained by :meth:`Timeline.steal_remaining`.
+    """
+
+    __slots__ = ("resource", "labels", "costs", "origins")
+
+    def __init__(self, resource: str) -> None:
+        self.resource = resource
+        #: Item labels, oldest first.
+        self.labels: list[str] = []
+        #: Per-item cost by candidate resource name.
+        self.costs: list[dict[str, float]] = []
+        #: Origin resource for stolen items, ``None`` for native ones.
+        self.origins: list[str | None] = []
+
+    def push_many(
+        self, labels: Sequence[str], costs: Mapping[str, Sequence[float]]
+    ) -> None:
+        """Append a batch of planned items.
+
+        *costs* maps each candidate resource to that resource's per-item
+        durations; it must price at least this queue's own resource, and
+        every array must match ``len(labels)``.
+        """
+        k = len(labels)
+        if self.resource not in costs:
+            raise ValueError(
+                f"costs must include the queue's own resource {self.resource!r}"
+            )
+        table = {}
+        for res, arr in costs.items():
+            col = np.asarray(arr, dtype=_F64)
+            if col.shape != (k,):
+                raise ValueError(
+                    f"costs[{res!r}] must have shape ({k},), got {col.shape}"
+                )
+            if k and float(col.min()) < 0.0:
+                raise ValueError("span costs must be non-negative")
+            table[res] = col
+        for i in range(k):
+            self.labels.append(str(labels[i]))
+            self.costs.append({res: float(col[i]) for res, col in table.items()})
+            self.origins.append(None)
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def total_cost(self, resource: str | None = None) -> float:
+        """Summed item cost priced on *resource* (default: own resource)."""
+        res = resource if resource is not None else self.resource
+        return float(sum(c.get(res, 0.0) for c in self.costs))
+
+
+@dataclass(frozen=True)
+class StealReport:
+    """What one :meth:`Timeline.steal_remaining` drain did.
+
+    ``finish_ms`` holds each resource's absolute finish on the shared
+    clock; ``stolen`` counts the items each resource *claimed* from
+    another queue; ``moved`` lists every migration as
+    ``(victim, thief, label)`` in commit order.
+    """
+
+    start_ms: float
+    finish_ms: dict[str, float] = field(default_factory=dict)
+    stolen: dict[str, int] = field(default_factory=dict)
+    moved: tuple[tuple[str, str, str], ...] = ()
+
+    @property
+    def makespan_ms(self) -> float:
+        """Barrier-to-barrier duration of the drained round."""
+        if not self.finish_ms:
+            return 0.0
+        return max(self.finish_ms.values()) - self.start_ms
+
+    @property
+    def total_stolen(self) -> int:
+        return sum(self.stolen.values())
+
+    def busy_ms(self, resource: str) -> float:
+        """Time *resource* spent executing its (post-steal) queue."""
+        finish = self.finish_ms.get(resource)
+        if finish is None:
+            return 0.0
+        return finish - self.start_ms
 
 
 class Timeline:
@@ -313,6 +406,112 @@ class Timeline:
             self._n = i + k
         self._cursor = offset + other.total_ms
 
+    # -- work-stealing execution -------------------------------------------
+
+    def steal_remaining(
+        self,
+        queues: Sequence[SpanQueue],
+        steal_overhead_ms: float = 0.0,
+        label_prefix: str = "",
+    ) -> StealReport:
+        """Drain *queues* concurrently, letting idle devices steal.
+
+        Every queue starts at the current clock (a fork), each resource
+        executes its items in FIFO order, and the clock advances by the
+        longest per-resource finish (a join) — the same barrier semantics
+        as :meth:`overlap`.  Before execution the laggard's *unstarted*
+        tail items migrate, one at a time, to whichever device would
+        otherwise go idle first, as long as each move strictly lowers the
+        pair's joint finish; a device never loses its last item (that one
+        counts as already running).  Each claimed item costs the thief
+        *steal_overhead_ms* of coordination on top of its own-rate price.
+
+        Because all costs are known up front, the greedy idle-time steals
+        collapse to this deterministic tail re-balancing — the simulated
+        analogue of a per-level ``balance()`` + ``executeWorkstealing()``
+        pass.  Stolen spans keep their label with a ``|stolen`` suffix so
+        traces show who ran what.
+        """
+        if steal_overhead_ms < 0:
+            raise ValueError("steal_overhead_ms must be non-negative")
+        by_name = {}
+        for q in queues:
+            if q.resource in by_name:
+                raise ValueError(f"duplicate queue for resource {q.resource!r}")
+            by_name[q.resource] = q
+        names = sorted(by_name)
+        start = self._cursor
+        if not names:
+            return StealReport(start_ms=start)
+        finish = {
+            name: sum(c[name] for c in by_name[name].costs) for name in names
+        }
+        moved: list[tuple[str, str, str]] = []
+        stolen = {name: 0 for name in names}
+        if len(names) > 1:
+            while True:
+                victim = max(names, key=lambda r: (finish[r], r))
+                q_victim = by_name[victim]
+                if len(q_victim) <= 1:
+                    break
+                thieves = [r for r in names if r != victim]
+                thief = min(thieves, key=lambda r: (finish[r], r))
+                cost = q_victim.costs[-1]
+                if thief not in cost:
+                    break  # tail item cannot run elsewhere
+                new_victim = finish[victim] - cost[victim]
+                new_thief = finish[thief] + cost[thief] + steal_overhead_ms
+                if max(new_victim, new_thief) >= max(
+                    finish[victim], finish[thief]
+                ):
+                    break
+                q_thief = by_name[thief]
+                q_thief.labels.append(q_victim.labels.pop())
+                q_thief.costs.append(q_victim.costs.pop())
+                q_victim.origins.pop()
+                q_thief.origins.append(victim)
+                finish[victim] = new_victim
+                finish[thief] = new_thief
+                stolen[thief] += 1
+                moved.append((victim, thief, q_thief.labels[-1]))
+        # Record each resource's (post-steal) schedule back to back from
+        # the fork point, then join the clock at the longest finish.
+        resources: list[str] = []
+        labels: list[str] = []
+        durs: list[float] = []
+        starts: list[float] = []
+        for name in names:
+            q = by_name[name]
+            at = start
+            for i, label in enumerate(q.labels):
+                cost = q.costs[i][name]
+                if q.origins[i] is not None:
+                    cost += steal_overhead_ms
+                    label = f"{label}|stolen"
+                resources.append(name)
+                labels.append(label_prefix + label)
+                starts.append(at)
+                durs.append(cost)
+                at += cost
+            finish[name] = at
+            q.labels.clear()
+            q.costs.clear()
+            q.origins.clear()
+        if resources:
+            self.record_many(
+                resources,
+                labels,
+                np.asarray(starts, dtype=_F64),
+                np.asarray(durs, dtype=_F64),
+            )
+        self._cursor = max(self._cursor, max(finish.values()))
+        return StealReport(
+            start_ms=start,
+            finish_ms=finish,
+            stolen=stolen,
+            moved=tuple(moved),
+        )
+
     @staticmethod
     def _check_duration(duration_ms: float) -> None:
         if duration_ms < 0:
@@ -363,6 +562,50 @@ class Timeline:
             return 0.0
         mask = self._res[: self._n] == code
         return float(np.sum(self._durs[: self._n], where=mask, initial=0.0))
+
+    def finish_ms(self, resource: str) -> float:
+        """Latest span end on *resource*'s lane (0.0 when it recorded none).
+
+        The makespan is the max of the per-lane finishes, so these are
+        what a load balancer equalizes; :meth:`busy_ms` undercounts a lane
+        whose work is serialized behind another's (a d2h that can only
+        start once the producing kernel ends still pushes the finish out).
+        """
+        code = self._res_ids.get(resource)
+        if code is None:
+            return 0.0
+        n = self._n
+        mask = self._res[:n] == code
+        if not np.any(mask):
+            return 0.0
+        ends = self._starts[:n] + self._durs[:n]
+        return float(np.max(ends, where=mask, initial=0.0))
+
+    def utilization(self, resource: str | None = None):
+        """Busy fraction of the makespan, vectorized over the columns.
+
+        With *resource*, the float ``busy_ms(resource) / total_ms``;
+        without, a dict of that fraction for every recorded resource.  An
+        empty store (or a zero-length makespan) yields 0.0 fractions — no
+        division by zero — and the no-argument form yields ``{}`` when
+        nothing was recorded.  For merged-interval fractions that count
+        overlapped stretches once, see :func:`repro.obs.timeline_view.utilization`.
+        """
+        makespan_ms = self._cursor
+        if resource is not None:
+            if makespan_ms <= 0.0:
+                return 0.0
+            return self.busy_ms(resource) / makespan_ms
+        n = self._n
+        if n == 0 or makespan_ms <= 0.0:
+            return {name: 0.0 for name in self._res_pool}
+        busy = np.bincount(
+            self._res[:n], weights=self._durs[:n], minlength=len(self._res_pool)
+        )
+        return {
+            name: float(busy[code]) / makespan_ms
+            for code, name in enumerate(self._res_pool)
+        }
 
     def labelled_ms(self, label_prefix: str) -> float:
         """Wall-clock span covered by spans whose label starts with the prefix.

@@ -88,6 +88,12 @@ class TuneRequest:
         Interconnect topology, ``"shared"`` (transfers serialize on one
         link, the legacy PCIe behavior) or ``"dedicated"`` (one link per
         accelerator, transfers overlap).
+    rounds:
+        Streaming rounds the input is cut into.  ``1`` (default) is the
+        static tune; ``> 1`` answers with
+        :class:`~repro.hetero.dynamic_rebalance.DynamicRebalance` — one
+        cutoff per round, re-balanced between rounds — and is defined for
+        the scalar kinds only.
     """
 
     problem: str
@@ -98,6 +104,7 @@ class TuneRequest:
     sample_size: int | None = None
     n_devices: int = 2
     interconnect: str = "shared"
+    rounds: int = 1
 
     def __post_init__(self) -> None:
         from repro.platform.cluster import TOPOLOGIES
@@ -139,13 +146,21 @@ class TuneRequest:
             raise ValidationError(
                 f"sample_size must be >= 1, got {self.sample_size}"
             )
+        if self.rounds < 1:
+            raise ValidationError(f"rounds must be >= 1, got {self.rounds}")
+        if self.problem in CLUSTER_KINDS and self.rounds != 1:
+            raise ValidationError(
+                f"cluster kinds tune statically (rounds=1), got rounds="
+                f"{self.rounds}"
+            )
 
     def key_fields(self) -> dict:
         """Cache-key / coalescing-key fields (the request's full identity).
 
-        ``n_devices`` and ``interconnect`` are always present: two
-        requests differing only in cluster shape must never share a
-        cache entry (see ``tests/test_platform_cluster.py``).
+        ``n_devices``, ``interconnect`` and ``rounds`` are always
+        present: two requests differing only in cluster shape — or only
+        in round count — must never share a cache entry (see
+        ``tests/test_platform_cluster.py`` and ``tests/test_serve.py``).
         """
         return {
             "kind": "serve-tune",
@@ -157,6 +172,7 @@ class TuneRequest:
             "sample_size": self.sample_size,
             "n_devices": self.n_devices,
             "interconnect": self.interconnect,
+            "rounds": self.rounds,
         }
 
     def fingerprint(self) -> str:
@@ -188,6 +204,7 @@ class TuneRequest:
             "sample_size": self.sample_size,
             "n_devices": self.n_devices,
             "interconnect": self.interconnect,
+            "rounds": self.rounds,
         }
 
     @classmethod
@@ -202,6 +219,7 @@ class TuneRequest:
             sample_size=None if sample_size is None else int(sample_size),
             n_devices=int(record.get("n_devices", 2)),
             interconnect=str(record.get("interconnect", "shared")),
+            rounds=int(record.get("rounds", 1)),
         )
 
 
@@ -227,8 +245,12 @@ class TuneResponse:
     search_name: str
     #: The full cut vector.  Scalar kinds answer ``(threshold,)``;
     #: cluster kinds answer ``n_devices - 1`` cumulative percentages and
-    #: ``threshold`` echoes the first cut (the CPU share boundary).
+    #: ``threshold`` echoes the first cut (the CPU share boundary);
+    #: dynamic tunes (``rounds > 1``) answer one cutoff per round and
+    #: ``threshold`` echoes round 0's.
     thresholds: tuple[float, ...] = ()
+    #: Streaming rounds the answer spans (1 = static tune).
+    rounds: int = 1
 
     def __post_init__(self) -> None:
         if not self.thresholds:
@@ -242,6 +264,7 @@ class TuneResponse:
             "seed": self.seed,
             "threshold": self.threshold,
             "thresholds": list(self.thresholds),
+            "rounds": self.rounds,
             "phase2_ms": self.phase2_ms,
             "estimation_ms": self.estimation_ms,
             "overhead_percent": self.overhead_percent,
@@ -259,6 +282,7 @@ class TuneResponse:
             seed=int(record["seed"]),
             threshold=float(record["threshold"]),
             thresholds=tuple(float(t) for t in thresholds or ()),
+            rounds=int(record.get("rounds", 1)),
             phase2_ms=float(record["phase2_ms"]),
             estimation_ms=float(record["estimation_ms"]),
             overhead_percent=float(record["overhead_percent"]),
@@ -349,6 +373,8 @@ def tune(request: TuneRequest, problem: PartitionProblem | None = None) -> TuneR
     partitioner = partitioner_factories[request.problem](
         config, request.dataset, sample_size=request.sample_size
     )
+    if request.rounds > 1:
+        return _tune_dynamic_request(request, problem, partitioner)
     estimate = partitioner.estimate(problem)
     grid = problem.threshold_grid()
     threshold = float(min(max(estimate.threshold, grid[0]), grid[-1]))
@@ -359,6 +385,35 @@ def tune(request: TuneRequest, problem: PartitionProblem | None = None) -> TuneR
         scale=request.scale,
         seed=request.seed,
         threshold=threshold,
+        phase2_ms=phase2_ms,
+        estimation_ms=float(estimate.estimation_cost_ms),
+        overhead_percent=float(estimate.overhead_percent(phase2_ms)),
+        n_evaluations=int(sum(s.n_evaluations for s in estimate.searches)),
+        search_name=type(partitioner.search).__name__,
+    )
+
+
+def _tune_dynamic_request(request, problem, partitioner) -> TuneResponse:
+    """The ``rounds > 1`` half of :func:`tune` (one cutoff per round).
+
+    Identify is the same sampled estimate the static path would use for
+    round 0; :class:`~repro.hetero.dynamic_rebalance.DynamicRebalance`
+    then re-balances between rounds, so ``thresholds`` is the per-round
+    cutoff trajectory and ``phase2_ms`` the summed round makespans.
+    """
+    from repro.hetero.dynamic_rebalance import DynamicRebalance
+
+    result = DynamicRebalance(partitioner, rounds=request.rounds).run(problem)
+    estimate = result.estimate
+    phase2_ms = float(result.total_ms)
+    return TuneResponse(
+        problem=request.problem,
+        dataset=request.dataset,
+        scale=request.scale,
+        seed=request.seed,
+        threshold=float(result.rounds[0].thresholds[0]),
+        thresholds=tuple(r.thresholds[0] for r in result.rounds),
+        rounds=len(result.rounds),
         phase2_ms=phase2_ms,
         estimation_ms=float(estimate.estimation_cost_ms),
         overhead_percent=float(estimate.overhead_percent(phase2_ms)),

@@ -170,6 +170,57 @@ def bump(x):
         assert codes(findings) == ["PAR001"]
         assert "COUNT" in findings[0].message
 
+    def test_par001_local_shadow_of_import_is_clean(self):
+        # A worker that builds its own object under a name that also exists
+        # as a module-level import writes *local* state, not module state.
+        findings = analyze_source_set(
+            {
+                "state.py": """\
+cursor = 0
+""",
+                "shadow.py": """\
+import state
+
+def run(pool, items):
+    return pool.map(work, items)
+
+def work(x):
+    state = make()
+    state.cursor = x
+    state.slots[0] = x
+    return state.cursor
+
+def make():
+    class Box:
+        pass
+    return Box()
+""",
+            }
+        )
+        assert findings == []
+
+    def test_par001_module_attribute_write_still_fires(self):
+        # Without the shadowing local binding, the same attribute write is
+        # a genuine cross-process module-state mutation.
+        findings = analyze_source_set(
+            {
+                "state.py": """\
+cursor = 0
+""",
+                "shadow.py": """\
+import state
+
+def run(pool, items):
+    return pool.map(work, items)
+
+def work(x):
+    state.cursor = x
+    return x
+""",
+            }
+        )
+        assert codes(findings) == ["PAR001"]
+
     def test_par002_lambda_shipped_to_pool(self):
         findings = analyze_source_set(
             {

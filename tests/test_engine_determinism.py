@@ -15,7 +15,13 @@ from dataclasses import replace
 
 import pytest
 
-from repro.experiments import fig3_cc, fig4_cc_sensitivity, fig5_spmm, fig8_scalefree
+from repro.experiments import (
+    ext_dynamic,
+    fig3_cc,
+    fig4_cc_sensitivity,
+    fig5_spmm,
+    fig8_scalefree,
+)
 from repro.experiments.config import ExperimentConfig
 
 #: Tiny but structurally diverse: one banded FEM and one heavier FEM matrix,
@@ -26,6 +32,10 @@ STUDIES = {
     "fig3": fig3_cc.run,
     "fig5": fig5_spmm.run,
     "fig8": fig8_scalefree.run,
+    # The rounds=1 anchor of the dynamic family must also hold under a
+    # worker pool: the whole report (static vs dynamic vs oracle cells)
+    # is compared byte for byte.
+    "ext-dynamic": ext_dynamic.run,
 }
 
 

@@ -288,3 +288,50 @@ class TestChaosLifecycle:
         pmap = ParallelMap(2, **FAST)
         pmap.close()  # no session was ever created
         assert pmap._shm_session is None
+
+
+@needs_shm
+class TestOptOutMidRun:
+    def test_opt_out_across_pool_restart(self, monkeypatch):
+        """``REPRO_SHM=0`` set between maps, across a forced pool restart.
+
+        The gate is re-read on every pooled use: after the opt-out the
+        next map must ship payloads inline (no new exports), the existing
+        session must stay owned (restart never unlinks), and close must
+        still unlink exactly once — zero leaked segments either way.
+        """
+        before = _dev_shm_names()
+        matrix = _large_matrix()
+        payloads = [(matrix, float(i)) for i in range(1, 4)]
+        serial = [_col_sums(p) for p in payloads]
+        pmap = ParallelMap(2, **FAST)
+        try:
+            first = pmap.map(_col_sums, payloads)
+            session = pmap._shm_session
+            assert session is not None
+            assert session.exported_segments == 1
+
+            monkeypatch.setenv("REPRO_SHM", "0")
+            pmap._kill_pool()  # the restart path the retry machinery uses
+            second = pmap.map(_col_sums, payloads)
+            # No new session and no new exports after the opt-out...
+            assert pmap._shm_session is session
+            assert session.exported_segments == 1
+            # ...but the pre-existing segments are still owned, not leaked
+            # or prematurely unlinked by the restart.
+            assert set(session._segments)
+        finally:
+            pmap.close()
+        assert _same_results(serial, first)
+        assert _same_results(serial, second)
+        assert _leaked(before) == set()
+
+    def test_opt_out_session_still_closes_cleanly(self, monkeypatch):
+        before = _dev_shm_names()
+        session = ShmSession()
+        handle = session.maybe_export(_large_matrix())
+        assert handle is not None
+        monkeypatch.setenv("REPRO_SHM", "0")
+        session.close()
+        session.close()  # idempotent under the opt-out too
+        assert _leaked(before) == set()

@@ -78,6 +78,7 @@ class TestRegistry:
             "table1", "table2",
             "ablation-cc-sampling", "ablation-hh-sampling", "ablation-dynamic",
             "ablation-spmm-sampling", "ext-multiway", "ext-cluster",
+            "ext-dynamic",
         }
 
 

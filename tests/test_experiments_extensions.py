@@ -10,6 +10,7 @@ from repro.experiments import (
     ablation_cc_sampling,
     ablation_hh_sampling,
     ext_cluster,
+    ext_dynamic,
     ext_multiway,
 )
 
@@ -74,6 +75,35 @@ class TestExtCluster:
             assert m[f"cluster-spmm_cant_p{p}_imbalance"] >= 0.0
 
 
+@pytest.fixture(scope="module")
+def dynamic_report():
+    # 1/16 keeps the round blocks large enough to carry a rate signal; at
+    # 1/64 they are straggler noise and the study (correctly) reports
+    # rebalancing as useless.
+    return ext_dynamic.run(ExperimentConfig(scale=1 / 16, seed=3))
+
+
+class TestExtDynamic:
+    def test_dynamic_beats_static_near_oracle_under_drift(self, dynamic_report):
+        m = dynamic_report.metrics
+        # The acceptance criteria of the strategy family: >= 10% median
+        # gain over the static cutoff, within 5% of the per-round oracle.
+        assert m["median_gain_percent"] >= 10.0
+        assert m["median_above_oracle_percent"] <= 5.0
+
+    def test_no_drift_control_is_a_wash(self, dynamic_report):
+        assert abs(dynamic_report.metrics["shuffled_gain_percent"]) < 5.0
+
+    def test_stealing_moves_rows_without_hurting(self, dynamic_report):
+        m = dynamic_report.metrics
+        assert m["steal_stolen_rows"] > 0
+        assert m["steal_stealing_ms"] <= m["steal_plain_ms"]
+
+    def test_trajectory_table_present(self, dynamic_report):
+        table = dynamic_report.table("Figure - per-round")
+        assert table.column("round") == list(range(len(table.rows)))
+
+
 class TestRegistryAndCsv:
     def test_new_experiments_registered(self):
         for key in (
@@ -81,6 +111,7 @@ class TestRegistryAndCsv:
             "ablation-hh-sampling",
             "ext-multiway",
             "ext-cluster",
+            "ext-dynamic",
         ):
             assert key in REGISTRY
 

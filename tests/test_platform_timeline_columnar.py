@@ -206,3 +206,153 @@ class TestColumnsAndAggregation:
         assert tl.spans[0] == Span("cpu", "step/0", 0.0, 0.0)
         assert tl.spans[99].label == "step/99"
         assert tl.total_ms == pytest.approx(sum(float(i % 7) for i in range(100)))
+
+
+class TestFinishMs:
+    def test_matches_latest_span_end(self):
+        tl = Timeline()
+        tl.record("cpu", "a", 0.0, 3.0)
+        tl.record("cpu", "b", 1.0, 1.0)  # ends before the first span
+        tl.record("gpu", "c", 0.5, 5.0)
+        assert tl.finish_ms("cpu") == 3.0
+        assert tl.finish_ms("gpu") == 5.5
+
+    def test_unknown_or_empty_lane_is_zero(self):
+        tl = Timeline()
+        assert tl.finish_ms("cpu") == 0.0
+        tl.record("cpu", "a", 0.0, 1.0)
+        assert tl.finish_ms("gpu") == 0.0
+
+    def test_finish_at_least_busy(self):
+        tl = Timeline()
+        tl.record("gpu", "kernel", 2.0, 1.5)  # idle gap before the span
+        assert tl.busy_ms("gpu") == 1.5
+        assert tl.finish_ms("gpu") == 3.5
+
+
+class TestUtilizationGuards:
+    def test_empty_store_is_all_zeros(self):
+        tl = Timeline()
+        assert tl.utilization("cpu") == 0.0
+        assert tl.utilization() == {}
+
+    def test_zero_makespan_is_zero_not_nan(self):
+        tl = Timeline()
+        tl.record("cpu", "noop", 0.0, 0.0)
+        scalar = tl.utilization("cpu")
+        assert scalar == 0.0 and not np.isnan(scalar)
+        assert tl.utilization() == {"cpu": 0.0}
+
+    def test_fractions_match_span_arithmetic(self):
+        tl = Timeline()
+        tl.record("cpu", "a", 0.0, 2.0)
+        tl.record("gpu", "b", 0.0, 8.0)
+        assert tl.utilization("cpu") == pytest.approx(0.25)
+        assert tl.utilization() == {
+            "cpu": pytest.approx(0.25),
+            "gpu": pytest.approx(1.0),
+        }
+
+
+class TestSpanQueue:
+    def test_push_many_requires_own_resource(self):
+        from repro.platform.timeline import SpanQueue
+
+        q = SpanQueue("cpu")
+        with pytest.raises(ValueError):
+            q.push_many(["a"], {"gpu": [1.0]})
+
+    def test_push_many_validates_shapes_and_signs(self):
+        from repro.platform.timeline import SpanQueue
+
+        q = SpanQueue("cpu")
+        with pytest.raises(ValueError):
+            q.push_many(["a", "b"], {"cpu": [1.0]})
+        with pytest.raises(ValueError):
+            q.push_many(["a"], {"cpu": [-1.0]})
+
+    def test_total_cost_prices_per_resource(self):
+        from repro.platform.timeline import SpanQueue
+
+        q = SpanQueue("cpu")
+        q.push_many(["a", "b"], {"cpu": [1.0, 2.0], "gpu": [0.5, 0.25]})
+        assert q.total_cost() == 3.0
+        assert q.total_cost("gpu") == 0.75
+        assert len(q) == 2
+
+
+class TestStealRemaining:
+    @staticmethod
+    def _queue(resource, labels, costs):
+        from repro.platform.timeline import SpanQueue
+
+        q = SpanQueue(resource)
+        q.push_many(labels, costs)
+        return q
+
+    def test_idle_device_claims_laggard_tail(self):
+        tl = Timeline()
+        cpu = self._queue("cpu", ["c0"], {"cpu": [1.0], "gpu": [1.0]})
+        gpu = self._queue(
+            "gpu",
+            ["g0", "g1", "g2", "g3"],
+            {"cpu": [2.0] * 4, "gpu": [2.0] * 4},
+        )
+        report = tl.steal_remaining([cpu, gpu])
+        assert report.total_stolen > 0
+        assert report.stolen["cpu"] == report.total_stolen
+        # Every migration is a (victim, thief, label) triple.
+        assert all(v == "gpu" and t == "cpu" for v, t, _ in report.moved)
+        # Stealing shrank the round below the no-steal makespan.
+        assert report.makespan_ms < 8.0
+        assert any(label.endswith("|stolen") for label in tl.labels())
+
+    def test_balanced_queues_steal_nothing(self):
+        tl = Timeline()
+        cpu = self._queue("cpu", ["c0"], {"cpu": [2.0], "gpu": [2.0]})
+        gpu = self._queue("gpu", ["g0"], {"cpu": [2.0], "gpu": [2.0]})
+        report = tl.steal_remaining([cpu, gpu])
+        assert report.total_stolen == 0
+        assert report.makespan_ms == 2.0
+
+    def test_last_item_never_stolen(self):
+        tl = Timeline()
+        cpu = self._queue("cpu", [], {"cpu": []})
+        gpu = self._queue("gpu", ["g0"], {"cpu": [0.1], "gpu": [10.0]})
+        report = tl.steal_remaining([cpu, gpu])
+        assert report.total_stolen == 0  # the laggard's only item is running
+
+    def test_overhead_gates_migration(self):
+        def queues():
+            cpu = self._queue("cpu", ["c0"], {"cpu": [1.0], "gpu": [1.0]})
+            gpu = self._queue(
+                "gpu", ["g0", "g1"], {"cpu": [3.0, 3.0], "gpu": [3.0, 3.0]}
+            )
+            return [cpu, gpu]
+
+        free = Timeline().steal_remaining(queues())
+        assert free.total_stolen == 1
+        taxed = Timeline().steal_remaining(queues(), steal_overhead_ms=100.0)
+        assert taxed.total_stolen == 0
+
+    def test_duplicate_resource_rejected(self):
+        tl = Timeline()
+        with pytest.raises(ValueError):
+            tl.steal_remaining(
+                [
+                    self._queue("cpu", [], {"cpu": []}),
+                    self._queue("cpu", [], {"cpu": []}),
+                ]
+            )
+        with pytest.raises(ValueError):
+            tl.steal_remaining([], steal_overhead_ms=-1.0)
+
+    def test_round_starts_at_cursor_and_joins_clock(self):
+        tl = Timeline()
+        tl.record("cpu", "warmup", 0.0, 5.0)
+        report = tl.steal_remaining(
+            [self._queue("gpu", ["g0"], {"gpu": [2.0]})]
+        )
+        assert report.start_ms == 5.0
+        assert report.finish_ms["gpu"] == 7.0
+        assert tl.total_ms == 7.0

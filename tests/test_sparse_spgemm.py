@@ -201,6 +201,19 @@ class TestCompressionEstimate:
         a = random_sparse(80, 80, 0.05, seed=19)
         assert estimate_compression(a, a) == estimate_compression(a, a)
 
+    def test_all_zero_rows_yield_neutral_ratio(self):
+        # No multiplies at all: the ratio must be the neutral 1.0, not a
+        # 0/0 NaN — all-zero-row blocks reach this via the rounds path.
+        empty = from_dense(np.zeros((12, 12)))
+        assert estimate_compression(empty, empty) == 1.0
+
+    def test_zero_load_vector_with_nonzero_operands(self):
+        # A's columns only reference empty rows of B: zero multiplies even
+        # though both operands have entries.
+        a = from_dense(np.eye(6)[:, ::-1])  # anti-diagonal
+        b = from_dense(np.zeros((6, 6)))
+        assert estimate_compression(a, b) == 1.0
+
     def test_banded_compresses_more_than_random(self):
         # Overlapping bands collide heavily; scattered columns do not.
         n = 120
